@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+
+	"kvcc"
+	"kvcc/graph"
+	"kvcc/internal/dataset"
+	"kvcc/metrics"
+)
+
+// runTable1 regenerates Table 1: per-dataset network statistics, generated
+// stand-in next to the paper's reported numbers.
+func runTable1(cfg config) error {
+	fmt.Printf("%-10s | %10s %12s %8s %8s | %12s %14s %8s %8s\n",
+		"dataset", "|V|", "|E|", "density", "maxdeg", "paper |V|", "paper |E|", "p.dens", "p.maxd")
+	for _, row := range dataset.Table1(cfg.scale) {
+		fmt.Printf("%-10s | %10d %12d %8.2f %8d | %12d %14d %8.2f %8d\n",
+			row.Meta.Name, row.Vertices, row.Edges, row.Density, row.MaxDegree,
+			row.Meta.PaperVertices, row.Meta.PaperEdges, row.Meta.PaperDensity, row.Meta.PaperMaxDegree)
+	}
+	return nil
+}
+
+// effectivenessTargets mirrors the paper's Fig. 7-9 dataset/k pairs.
+var effectivenessTargets = []struct {
+	dataset string
+	ks      []int
+}{
+	{"Youtube", []int{6, 7, 8, 9}},
+	{"DBLP", []int{15, 16, 17, 18}},
+	{"Google", []int{18, 19, 20, 21}},
+	{"Cnr", []int{17, 18, 19, 20}},
+}
+
+// modelAverages caches the three models' quality averages per
+// (dataset, k, scale), so figs 7-9 share one computation pass.
+type modelKey struct {
+	dataset string
+	k       int
+	scale   float64
+}
+
+var modelCache = map[modelKey][3]metrics.Averages{}
+
+func modelsFor(g *graph.Graph, key modelKey) ([3]metrics.Averages, error) {
+	if got, ok := modelCache[key]; ok {
+		return got, nil
+	}
+	cores := kvcc.KCoreComponents(g, key.k)
+	eccs := kvcc.KECC(g, key.k)
+	res, err := kvcc.Enumerate(g, key.k)
+	if err != nil {
+		return [3]metrics.Averages{}, err
+	}
+	out := [3]metrics.Averages{
+		metrics.Average(cores), metrics.Average(eccs), metrics.Average(res.Components),
+	}
+	modelCache[key] = out
+	return out, nil
+}
+
+// runEffectiveness regenerates Figs. 7, 8 or 9: the chosen quality metric
+// averaged over all k-core components, k-ECCs and k-VCCs, for each
+// dataset/k pair the paper plots.
+func runEffectiveness(cfg config, metric string) error {
+	value := func(a metrics.Averages) float64 {
+		switch metric {
+		case "diameter":
+			return a.AvgDiameter
+		case "density":
+			return a.AvgDensity
+		case "clustering":
+			return a.AvgClustering
+		default:
+			panic("unknown metric " + metric)
+		}
+	}
+	for _, target := range effectivenessTargets {
+		g := loadDataset(target.dataset, cfg.scale)
+		fmt.Printf("%s (n=%d m=%d): average %s\n",
+			target.dataset, g.NumVertices(), g.NumEdges(), metric)
+		fmt.Printf("  %4s %12s %12s %12s\n", "k", "k-CC", "k-ECC", "k-VCC")
+		for _, k := range target.ks {
+			avgs, err := modelsFor(g, modelKey{target.dataset, k, cfg.scale})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %4d %12.3f %12.3f %12.3f\n",
+				k, value(avgs[0]), value(avgs[1]), value(avgs[2]))
+			noteModelOrder(metric, avgs, target.dataset, k)
+		}
+	}
+	fmt.Println("expected shape: k-VCC has the smallest diameter and the largest")
+	fmt.Println("density/clustering of the three models at every k (paper Figs. 7-9).")
+	return nil
+}
+
+// noteModelOrder warns when the paper's expected ordering between the
+// three models does not hold for a data point (informational only: a few
+// inversions can occur at small scale, as the paper itself notes for some
+// k values).
+func noteModelOrder(metric string, avgs [3]metrics.Averages, ds string, k int) {
+	c, e, v := avgs[0], avgs[1], avgs[2]
+	switch metric {
+	case "diameter":
+		if !(v.AvgDiameter <= e.AvgDiameter+1e-9 && e.AvgDiameter <= c.AvgDiameter+1e-9) {
+			fmt.Printf("  note: diameter ordering inverted at %s k=%d\n", ds, k)
+		}
+	case "density":
+		if !(v.AvgDensity+1e-9 >= e.AvgDensity && e.AvgDensity+1e-9 >= c.AvgDensity) {
+			fmt.Printf("  note: density ordering inverted at %s k=%d\n", ds, k)
+		}
+	case "clustering":
+		if !(v.AvgClustering+1e-9 >= c.AvgClustering) {
+			fmt.Printf("  note: clustering ordering inverted at %s k=%d\n", ds, k)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("experiment failed: %v", ferr)
+	}
+	return out
+}
+
+func TestRunTable1Smoke(t *testing.T) {
+	out := captureStdout(t, func() error { return runTable1(config{scale: 0.05}) })
+	for _, want := range []string{"Stanford", "DBLP", "Cit", "paper |V|"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig14Smoke(t *testing.T) {
+	out := captureStdout(t, func() error { return runFig14(config{scale: 0.05}) })
+	for _, want := range []string{
+		"4-VCCs containing the hub: 7",
+		"4-ECCs: 1",
+		"in any 4-VCC false",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig14 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig11Smoke(t *testing.T) {
+	out := captureStdout(t, func() error { return runFig11(config{scale: 0.05}) })
+	if !strings.Contains(out, "k=20") || !strings.Contains(out, "Cnr") {
+		t.Fatalf("fig11 output malformed:\n%s", out)
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig7", "fig8", "fig9", "fig10",
+		"table2", "fig11", "fig12", "fig13", "fig14"}
+	have := map[string]bool{}
+	for _, e := range experiments {
+		have[e.name] = true
+		if e.desc == "" || e.run == nil {
+			t.Fatalf("experiment %s incomplete", e.name)
+		}
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Fatalf("experiment %s missing from registry", name)
+		}
+	}
+}

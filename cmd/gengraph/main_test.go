@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kvcc/graphio"
+)
+
+func TestRunGNM(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-type", "gnm", "-n", "50", "-m", "120", "-seed", "3"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	g, err := graphio.ReadEdgeList(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 120 {
+		t.Fatalf("edges = %d, want 120", g.NumEdges())
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-type", "dataset", "-name", "Youtube", "-scale", "0.05"}, &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errBuf.String())
+	}
+	g, err := graphio.ReadEdgeList(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty dataset output")
+	}
+	if !strings.Contains(errBuf.String(), "vertices") {
+		t.Fatalf("missing summary: %s", errBuf.String())
+	}
+}
+
+func TestRunAllGeneratorTypes(t *testing.T) {
+	for _, typ := range []string{"gnp", "ba", "web", "planted"} {
+		var out, errBuf bytes.Buffer
+		args := []string{"-type", typ, "-n", "60", "-deg", "4", "-p", "0.1"}
+		if typ == "planted" {
+			args = []string{"-type", typ, "-n", "4", "-deg", "8"}
+		}
+		if code := run(args, &out, &errBuf); code != 0 {
+			t.Fatalf("%s: exit %d: %s", typ, code, errBuf.String())
+		}
+		if _, err := graphio.ReadEdgeList(strings.NewReader(out.String())); err != nil {
+			t.Fatalf("%s: output not parseable: %v", typ, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"bad-type", []string{"-type", "nope"}, 1},
+		{"bad-dataset", []string{"-type", "dataset", "-name", "nope"}, 1},
+		{"bad-flag", []string{"-wat"}, 2},
+	}
+	for _, tc := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(tc.args, &out, &errBuf); code != tc.code {
+			t.Errorf("%s: exit %d, want %d", tc.name, code, tc.code)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package kvcc
+
+import (
+	"kvcc/graph"
+	"kvcc/internal/flow"
+)
+
+// VertexConnectivity returns κ(g) per the paper's Definition 1: the
+// minimum number of vertices whose removal disconnects g or leaves a
+// single vertex. Disconnected graphs (and graphs with fewer than two
+// vertices) have connectivity 0; the complete graph K_n has n-1.
+func VertexConnectivity(g *graph.Graph) int {
+	k, _ := flow.GlobalVertexConnectivity(g, g.NumVertices())
+	return k
+}
+
+// MinimumVertexCut returns a minimum vertex cut of g, or nil if g is
+// complete or has fewer than two vertices (no cut exists). For a
+// disconnected graph the cut is empty but non-nil.
+func MinimumVertexCut(g *graph.Graph) []int {
+	k, cut := flow.GlobalVertexConnectivity(g, g.NumVertices())
+	if cut == nil && k > 0 {
+		return nil
+	}
+	return cut
+}
+
+// LocalConnectivity returns κ(u,v,g): the size of a minimum u-v vertex
+// cut. Adjacent or identical vertices cannot be separated; the function
+// then returns n-1 as a finite stand-in for the paper's +infinity.
+func LocalConnectivity(g *graph.Graph, u, v int) int {
+	n := g.NumVertices()
+	if n < 2 {
+		return 0
+	}
+	if u == v || g.HasEdge(u, v) {
+		return n - 1
+	}
+	return flow.LocalConnectivity(g, u, v, n)
+}
+
+// IsKVertexConnected reports whether g is k-vertex connected per
+// Definition 2: more than k vertices and κ(g) >= k.
+func IsKVertexConnected(g *graph.Graph, k int) bool {
+	if g.NumVertices() <= k {
+		return false
+	}
+	if k <= 0 {
+		return g.IsConnected()
+	}
+	kappa, _ := flow.GlobalVertexConnectivity(g, k)
+	return kappa >= k
+}

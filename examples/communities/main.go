@@ -1,0 +1,61 @@
+// Communities: detect overlapping social communities in a synthetic social
+// network with planted dense groups, and compare the quality of the three
+// cohesive-subgraph models with the paper's effectiveness metrics
+// (diameter, edge density, clustering coefficient).
+package main
+
+import (
+	"fmt"
+
+	"kvcc"
+	"kvcc/gen"
+	"kvcc/metrics"
+)
+
+func main() {
+	// A social network: 40 dense friend groups of 12-24 members, some
+	// chained by 2 shared members, embedded in a sparse follower
+	// background of 3000 users.
+	g, planted := gen.Planted(gen.PlantedConfig{
+		Communities: 40, MinSize: 12, MaxSize: 24, IntraProb: 0.8,
+		ChainOverlap: 2, ChainEvery: 4, BridgeEdges: 30,
+		NoiseVertices: 3000, NoiseDegree: 3, Seed: 42,
+	})
+	const k = 7
+	fmt.Printf("social network: %d vertices, %d edges (%d planted groups), k = %d\n\n",
+		g.NumVertices(), g.NumEdges(), len(planted), k)
+
+	res, err := kvcc.Enumerate(g, k)
+	if err != nil {
+		panic(err)
+	}
+	rows := []struct {
+		name string
+		avg  metrics.Averages
+	}{
+		{"k-VCC", metrics.Average(res.Components)},
+		{"k-ECC", metrics.Average(kvcc.KECC(g, k))},
+		{"k-core", metrics.Average(kvcc.KCoreComponents(g, k))},
+	}
+	fmt.Printf("%-10s %8s %10s %10s %12s %10s\n",
+		"model", "count", "avg size", "avg diam", "avg density", "avg cc")
+	for _, r := range rows {
+		fmt.Printf("%-10s %8d %10.1f %10.2f %12.3f %10.3f\n",
+			r.name, r.avg.Count, r.avg.AvgSize, r.avg.AvgDiameter,
+			r.avg.AvgDensity, r.avg.AvgClustering)
+	}
+
+	// Overlap demonstration: chained groups share members below k.
+	overlaps := 0
+	m := res.OverlapMatrix()
+	for i := range m {
+		for j := i + 1; j < len(m); j++ {
+			if m[i][j] > 0 {
+				overlaps++
+			}
+		}
+	}
+	fmt.Printf("\noverlapping k-VCC pairs: %d (every overlap < k, per Property 1)\n", overlaps)
+	fmt.Println("k-VCCs isolate each planted friend group; k-core merges groups that")
+	fmt.Println("share even a couple of members or loose ties (the free-rider effect).")
+}

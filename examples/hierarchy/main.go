@@ -1,0 +1,85 @@
+// Hierarchy: sweep k from 2 upwards on one graph and watch the k-VCC
+// decomposition refine: components shrink, split, and disappear as the
+// connectivity requirement tightens, while every k-VCC stays nested inside
+// a (k-1)-VCC. Also checks the paper's Theorem 2 diameter bound
+// diam <= (n-2)/κ + 1 on every component.
+package main
+
+import (
+	"fmt"
+
+	"kvcc"
+	"kvcc/gen"
+	"kvcc/graph"
+	"kvcc/metrics"
+)
+
+func main() {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 15, MinSize: 10, MaxSize: 30, IntraProb: 0.8,
+		ChainOverlap: 3, ChainEvery: 3, BridgeEdges: 10,
+		NoiseVertices: 500, NoiseDegree: 3, Seed: 77,
+	})
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("%4s %8s %10s %10s %12s %14s\n",
+		"k", "#k-VCC", "avg size", "max size", "avg diam", "diam bound ok")
+
+	var prev *kvcc.Result
+	for k := 2; k <= 16; k += 2 {
+		res, err := kvcc.Enumerate(g, k)
+		if err != nil {
+			panic(err)
+		}
+		avg := metrics.Average(res.Components)
+		maxSize := 0
+		boundOK := true
+		for _, c := range res.Components {
+			if c.NumVertices() > maxSize {
+				maxSize = c.NumVertices()
+			}
+			// Theorem 2: diam(G_i) <= (|V|-2)/κ + 1 with κ >= k.
+			bound := (c.NumVertices()-2)/k + 1
+			if d := metrics.Diameter(c); d > bound {
+				boundOK = false
+			}
+		}
+		fmt.Printf("%4d %8d %10.1f %10d %12.2f %14v\n",
+			k, len(res.Components), avg.AvgSize, maxSize, avg.AvgDiameter, boundOK)
+
+		if prev != nil {
+			nested := 0
+			for _, c := range res.Components {
+				if isNested(c.Labels(), prev.Components) {
+					nested++
+				}
+			}
+			if nested != len(res.Components) {
+				fmt.Printf("     WARNING: %d/%d components not nested in previous level\n",
+					nested, len(res.Components))
+			}
+		}
+		prev = res
+	}
+	fmt.Println("\nEvery k-VCC is nested inside a (k-2)-VCC of the previous level,")
+	fmt.Println("forming a connectivity hierarchy usable for multi-resolution clustering.")
+}
+
+func isNested(labels []int64, parents []*graph.Graph) bool {
+	for _, p := range parents {
+		set := map[int64]bool{}
+		for _, l := range p.Labels() {
+			set[l] = true
+		}
+		all := true
+		for _, l := range labels {
+			if !set[l] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+// Quickstart: build the paper's Figure 1 graph and compare the three
+// cohesive subgraph models on it. The k-VCC model separates the four
+// planted blocks; k-ECC and k-core merge blocks that share only a vertex,
+// an edge, or a couple of loose edges (the free-rider effect).
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"kvcc"
+	"kvcc/graph"
+)
+
+func main() {
+	g := figure1()
+	const k = 4
+	fmt.Printf("Figure 1 graph: %d vertices, %d edges, k = %d\n\n",
+		g.NumVertices(), g.NumEdges(), k)
+
+	res, err := kvcc.Enumerate(g, k)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d-VCCs (%d):\n", k, len(res.Components))
+	for i, c := range res.Components {
+		fmt.Printf("  VCC %d: %v\n", i, sortedLabels(c))
+	}
+
+	eccs := kvcc.KECC(g, k)
+	fmt.Printf("\n%d-ECCs (%d):\n", k, len(eccs))
+	for i, c := range eccs {
+		fmt.Printf("  ECC %d: %v\n", i, sortedLabels(c))
+	}
+
+	cores := kvcc.KCoreComponents(g, k)
+	fmt.Printf("\n%d-core components (%d):\n", k, len(cores))
+	for i, c := range cores {
+		fmt.Printf("  core %d: %v\n", i, sortedLabels(c))
+	}
+
+	fmt.Println("\nThe k-VCC model is the only one that separates all four blocks.")
+}
+
+// figure1 builds the qualitative structure of the paper's Fig. 1: four
+// dense blocks where G1,G2 share an edge, G2,G3 share a vertex, and G3,G4
+// are joined by two loose edges.
+func figure1() *graph.Graph {
+	var edges [][2]int
+	clique := func(vs []int) {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				edges = append(edges, [2]int{vs[i], vs[j]})
+			}
+		}
+	}
+	clique([]int{0, 1, 2, 3, 7, 8})                       // G1 (a=7, b=8)
+	clique([]int{7, 8, 9, 10, 11, 12})                    // G2: shares edge (7,8) with G1
+	clique([]int{12, 13, 14, 15, 16, 17})                 // G3: shares vertex 12 with G2
+	clique([]int{18, 19, 20, 21, 22})                     // G4
+	edges = append(edges, [2]int{16, 18}, [2]int{17, 19}) // loose G3-G4 ties
+	return graph.FromEdges(23, edges)
+}
+
+func sortedLabels(g *graph.Graph) []int64 {
+	ls := append([]int64(nil), g.Labels()...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	return ls
+}

@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kvcc/graph"
+)
+
+// PlantedConfig describes a graph with planted dense communities — the
+// ground-truth workload for k-VCC enumeration. Communities are dense
+// random blocks; consecutive communities may be chained by sharing a small
+// vertex overlap (below the k of interest, so they remain separate
+// k-VCCs), pairs of communities may be joined by loose bridge edges (the
+// free-rider pattern of Fig. 1), and the whole structure is embedded in a
+// sparse background that k-core reduction strips away.
+type PlantedConfig struct {
+	Communities   int     // number of dense blocks
+	MinSize       int     // smallest block size
+	MaxSize       int     // largest block size
+	IntraProb     float64 // edge probability inside a block
+	ChainOverlap  int     // vertices shared between chained neighbors (0 = disjoint)
+	ChainEvery    int     // chain every i-th community to its predecessor (0 = never)
+	BridgeEdges   int     // loose edges between random distinct blocks
+	NoiseVertices int     // background vertices
+	NoiseDegree   int     // average degree of the background
+	Seed          int64
+}
+
+// Planted generates the graph along with the planted community vertex
+// label sets (ground truth for recovery experiments).
+func Planted(cfg PlantedConfig) (*graph.Graph, [][]int64) {
+	if cfg.Communities < 1 || cfg.MinSize < 2 || cfg.MaxSize < cfg.MinSize {
+		panic(fmt.Sprintf("gen: bad PlantedConfig %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var edges [][2]int
+	var communities [][]int64
+	next := 0
+	var prev []int
+	for c := 0; c < cfg.Communities; c++ {
+		size := cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1)
+		vs := make([]int, size)
+		start := 0
+		chained := cfg.ChainEvery > 0 && c%cfg.ChainEvery == cfg.ChainEvery-1 &&
+			prev != nil && cfg.ChainOverlap > 0 && cfg.ChainOverlap < len(prev) && cfg.ChainOverlap < size
+		if chained {
+			copy(vs, prev[len(prev)-cfg.ChainOverlap:])
+			start = cfg.ChainOverlap
+		}
+		for i := start; i < size; i++ {
+			vs[i] = next
+			next++
+		}
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Float64() < cfg.IntraProb {
+					edges = append(edges, [2]int{vs[i], vs[j]})
+				}
+			}
+		}
+		labels := make([]int64, size)
+		for i, v := range vs {
+			labels[i] = int64(v)
+		}
+		communities = append(communities, labels)
+		prev = vs
+	}
+	communityVertices := next
+	// Bridge edges between random distinct communities (free riders).
+	for b := 0; b < cfg.BridgeEdges && cfg.Communities > 1; b++ {
+		ci := rng.Intn(len(communities))
+		cj := rng.Intn(len(communities))
+		if ci == cj {
+			continue
+		}
+		u := communities[ci][rng.Intn(len(communities[ci]))]
+		v := communities[cj][rng.Intn(len(communities[cj]))]
+		if u != v {
+			edges = append(edges, [2]int{int(u), int(v)})
+		}
+	}
+	// Sparse background noise attached to everything.
+	n := communityVertices + cfg.NoiseVertices
+	if cfg.NoiseVertices > 0 && cfg.NoiseDegree > 0 {
+		for v := communityVertices; v < n; v++ {
+			d := 1 + rng.Intn(2*cfg.NoiseDegree)
+			for i := 0; i < d; i++ {
+				u := rng.Intn(n)
+				if u != v {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+		}
+	}
+	if n == 0 {
+		n = communityVertices
+	}
+	return graph.FromEdges(n, edges), communities
+}
+
+// EgoNetConfig describes a synthetic collaboration ego network for the
+// Fig. 14 case study: a hub author adjacent to everyone, dense research
+// groups among the hub's neighbors, core authors shared between adjacent
+// groups, and bridging authors who co-author across several groups without
+// belonging to any (they appear in the k-ECC and the k-core but in no
+// k-VCC).
+type EgoNetConfig struct {
+	Groups        int
+	GroupMin      int
+	GroupMax      int
+	IntraProb     float64
+	SharedAuthors int // authors who belong to two consecutive groups
+	Bridges       int // authors spread thinly across >= 3 groups
+	Seed          int64
+}
+
+// EgoNet holds the generated case-study network.
+type EgoNet struct {
+	Graph *graph.Graph
+	// Hub is the label of the ego vertex (the "prolific author").
+	Hub int64
+	// Groups are the planted research groups (vertex labels, without the
+	// hub or bridges).
+	Groups [][]int64
+	// Bridges are the labels of the bridging authors.
+	Bridges []int64
+	// Names maps labels to generated author names.
+	Names map[int64]string
+}
+
+// CollaborationEgoNet generates the Fig. 14 workload.
+func CollaborationEgoNet(cfg EgoNetConfig) *EgoNet {
+	if cfg.Groups < 2 || cfg.GroupMin < 4 || cfg.GroupMax < cfg.GroupMin {
+		panic(fmt.Sprintf("gen: bad EgoNetConfig %+v", cfg))
+	}
+	if cfg.Bridges > 0 && cfg.Groups < 3 {
+		panic("gen: EgoNetConfig bridges need at least 3 groups")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const hub = 0
+	next := 1
+	var edges [][2]int
+	var groups [][]int64
+	var prevTail []int
+	for gi := 0; gi < cfg.Groups; gi++ {
+		size := cfg.GroupMin + rng.Intn(cfg.GroupMax-cfg.GroupMin+1)
+		vs := make([]int, 0, size)
+		if gi > 0 && cfg.SharedAuthors > 0 && cfg.SharedAuthors < len(prevTail) {
+			vs = append(vs, prevTail[len(prevTail)-cfg.SharedAuthors:]...)
+		}
+		for len(vs) < size {
+			vs = append(vs, next)
+			next++
+		}
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				if rng.Float64() < cfg.IntraProb {
+					edges = append(edges, [2]int{vs[i], vs[j]})
+				}
+			}
+		}
+		labels := make([]int64, len(vs))
+		for i, v := range vs {
+			labels[i] = int64(v)
+			edges = append(edges, [2]int{hub, v}) // ego network: hub knows all
+		}
+		groups = append(groups, labels)
+		prevTail = vs
+	}
+	var bridges []int64
+	for b := 0; b < cfg.Bridges; b++ {
+		v := next
+		next++
+		bridges = append(bridges, int64(v))
+		edges = append(edges, [2]int{hub, v})
+		// Co-author with exactly one member of three groups. Bridges take
+		// disjoint group triples (3b, 3b+1, 3b+2 mod Groups) so that each
+		// group's separating cut {hub, shared authors, its one bridge}
+		// stays below k=4 — the Fig. 14 configuration where the bridging
+		// author survives the 4-core and the 4-ECC but joins no 4-VCC.
+		for j := 0; j < 3; j++ {
+			g := groups[(3*b+j)%len(groups)]
+			edges = append(edges, [2]int{v, int(g[rng.Intn(len(g))])})
+		}
+	}
+	g := graph.FromEdges(next, edges)
+	names := make(map[int64]string, next)
+	names[hub] = "prolific-author"
+	for gi, grp := range groups {
+		for ai, l := range grp {
+			if _, ok := names[l]; !ok {
+				names[l] = fmt.Sprintf("author-g%d-%02d", gi, ai)
+			} else {
+				names[l] = fmt.Sprintf("core-author-%d", l) // shared between groups
+			}
+		}
+	}
+	for bi, l := range bridges {
+		names[l] = fmt.Sprintf("bridging-author-%d", bi)
+	}
+	return &EgoNet{Graph: g, Hub: hub, Groups: groups, Bridges: bridges, Names: names}
+}

@@ -1,0 +1,57 @@
+package graph
+
+// Builder accumulates labeled edges and produces a normalized Graph.
+// Vertices are created on first mention (by AddEdge or AddVertex) and are
+// numbered in first-mention order. Duplicate edges and self-loops are
+// silently dropped at Build time, matching how raw edge lists (e.g. SNAP
+// exports) are normally cleaned.
+type Builder struct {
+	index  map[int64]int
+	labels []int64
+	adj    [][]int
+}
+
+// NewBuilder returns a Builder with capacity hints for n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		index:  make(map[int64]int, n),
+		labels: make([]int64, 0, n),
+		adj:    make([][]int, 0, n),
+	}
+}
+
+// AddVertex ensures a vertex labeled l exists and returns its id.
+func (b *Builder) AddVertex(l int64) int {
+	if v, ok := b.index[l]; ok {
+		return v
+	}
+	v := len(b.labels)
+	b.index[l] = v
+	b.labels = append(b.labels, l)
+	b.adj = append(b.adj, nil)
+	return v
+}
+
+// AddEdge records the undirected edge between the vertices labeled lu and lv.
+// Self-loops are ignored.
+func (b *Builder) AddEdge(lu, lv int64) {
+	if lu == lv {
+		return
+	}
+	u := b.AddVertex(lu)
+	v := b.AddVertex(lv)
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.labels) }
+
+// Build normalizes the accumulated data into a Graph. The Builder must not
+// be used afterwards.
+func (b *Builder) Build() *Graph {
+	m := normalize(b.adj)
+	g := &Graph{adj: b.adj, labels: b.labels, m: m}
+	b.adj, b.labels, b.index = nil, nil, nil
+	return g
+}

@@ -1,0 +1,226 @@
+// Package graph provides the undirected simple-graph substrate used by all
+// k-VCC algorithms: compact adjacency-list storage, label tracking across
+// subgraph operations, traversals, and connected components.
+//
+// A Graph has vertices identified by contiguous ints 0..N-1. Every vertex
+// additionally carries an int64 label. Labels preserve vertex identity when
+// subgraphs are carved out of larger graphs (the overlapped partition at the
+// heart of KVCC-ENUM repeatedly induces subgraphs and duplicates cut
+// vertices; the label is the only stable name for a vertex).
+//
+// Invariants maintained by every constructor in this package:
+//   - adjacency lists are sorted ascending,
+//   - no self-loops,
+//   - no duplicate edges,
+//   - the graph is simple and undirected ((u,v) stored in both lists).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected simple graph. Construct one with a
+// Builder, FromEdges, or by inducing a subgraph of an existing Graph.
+// The zero value is an empty graph.
+type Graph struct {
+	adj    [][]int // sorted adjacency lists
+	labels []int64 // labels[v] = stable external identity of vertex v
+	m      int     // number of undirected edges
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Label returns the stable label of vertex v.
+func (g *Graph) Label(v int) int64 { return g.labels[v] }
+
+// Labels returns the label slice indexed by vertex. The returned slice is
+// shared with the graph and must not be modified.
+func (g *Graph) Labels() []int64 { return g.labels }
+
+// HasEdge reports whether the undirected edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	// Search the shorter list.
+	a, b := u, v
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	list := g.adj[a]
+	i := sort.SearchInts(list, b)
+	return i < len(list) && list[i] == b
+}
+
+// IndexOfLabel returns the vertex whose label is l, or -1 if absent.
+// It is a linear scan; callers needing many lookups should build a map once.
+func (g *Graph) IndexOfLabel(l int64) int {
+	for v, lab := range g.labels {
+		if lab == l {
+			return v
+		}
+	}
+	return -1
+}
+
+// LabelIndex returns a map from label to vertex id.
+func (g *Graph) LabelIndex() map[int64]int {
+	idx := make(map[int64]int, len(g.labels))
+	for v, lab := range g.labels {
+		idx[lab] = v
+	}
+	return idx
+}
+
+// MaxDegree returns the maximum degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	return max
+}
+
+// MinDegreeVertex returns the vertex of minimum degree and its degree.
+// It returns (-1, 0) for an empty graph.
+func (g *Graph) MinDegreeVertex() (v, degree int) {
+	if len(g.adj) == 0 {
+		return -1, 0
+	}
+	v = 0
+	degree = len(g.adj[0])
+	for u := 1; u < len(g.adj); u++ {
+		if len(g.adj[u]) < degree {
+			v, degree = u, len(g.adj[u])
+		}
+	}
+	return v, degree
+}
+
+// AverageDegree returns 2m/n, or 0 for an empty graph.
+func (g *Graph) AverageDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(len(g.adj))
+}
+
+// CommonNeighborCount returns |N(u) ∩ N(v)|, stopping early once the count
+// reaches limit (limit <= 0 means unbounded). Used by the strong side-vertex
+// test (Theorem 8), which only needs to know whether the count reaches k.
+func (g *Graph) CommonNeighborCount(u, v, limit int) int {
+	a, b := g.adj[u], g.adj[v]
+	count, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			count++
+			if limit > 0 && count >= limit {
+				return count
+			}
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// Edges appends every undirected edge (u,v) with u < v to dst and returns it.
+func (g *Graph) Edges(dst [][2]int) [][2]int {
+	if dst == nil {
+		dst = make([][2]int, 0, g.m)
+	}
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			if u < v {
+				dst = append(dst, [2]int{u, v})
+			}
+		}
+	}
+	return dst
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]int, len(g.adj))
+	for v, nbrs := range g.adj {
+		adj[v] = append([]int(nil), nbrs...)
+	}
+	labels := append([]int64(nil), g.labels...)
+	return &Graph{adj: adj, labels: labels, m: g.m}
+}
+
+// Bytes returns a structural estimate of the memory held by the graph:
+// adjacency entries, slice headers and labels. It is deterministic (unlike
+// runtime heap measurements) and is the unit reported by the Fig. 12 memory
+// experiment.
+func (g *Graph) Bytes() int64 {
+	const (
+		intSize    = 8
+		headerSize = 24
+	)
+	b := int64(len(g.adj)) * (headerSize + intSize) // slice headers + labels
+	b += int64(2*g.m) * intSize                     // adjacency entries
+	return b
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.NumVertices(), g.NumEdges())
+}
+
+// FromEdges builds a graph with vertices 0..n-1 (labels equal to vertex ids)
+// from an edge list. Self-loops and duplicate edges are discarded. It panics
+// if an endpoint is outside [0,n).
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddVertex(int64(v)) // ensure id == label for all n vertices
+	}
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) outside [0,%d)", e[0], e[1], n))
+		}
+		b.AddEdge(int64(e[0]), int64(e[1]))
+	}
+	return b.Build()
+}
+
+// normalize sorts adjacency lists and removes duplicates; it returns the
+// resulting edge count.
+func normalize(adj [][]int) int {
+	m := 0
+	for v := range adj {
+		nbrs := adj[v]
+		sort.Ints(nbrs)
+		out := nbrs[:0]
+		prev := -1
+		for _, w := range nbrs {
+			if w != prev && w != v {
+				out = append(out, w)
+				prev = w
+			}
+		}
+		adj[v] = out
+		m += len(out)
+	}
+	return m / 2
+}

@@ -1,0 +1,118 @@
+package graph
+
+import "sort"
+
+// InducedSubgraph returns the subgraph induced by the given vertex ids.
+// Vertices are renumbered 0..len(vs)-1 in the order given; labels carry
+// over, so identity is preserved across nested inductions. Duplicate ids in
+// vs are rejected by panic (they would corrupt the renumbering).
+func (g *Graph) InducedSubgraph(vs []int) *Graph {
+	remap := make(map[int]int, len(vs))
+	labels := make([]int64, len(vs))
+	for i, v := range vs {
+		if _, dup := remap[v]; dup {
+			panic("graph: duplicate vertex in InducedSubgraph")
+		}
+		remap[v] = i
+		labels[i] = g.labels[v]
+	}
+	adj := make([][]int, len(vs))
+	m := 0
+	for i, v := range vs {
+		var nbrs []int
+		for _, w := range g.adj[v] {
+			if j, ok := remap[w]; ok {
+				nbrs = append(nbrs, j)
+			}
+		}
+		// Source lists are sorted by old id; renumbering is not monotone,
+		// so re-sort.
+		adj[i] = nbrs
+		m += len(nbrs)
+	}
+	sg := &Graph{adj: adj, labels: labels, m: m / 2}
+	sortAdjacency(sg.adj)
+	return sg
+}
+
+// InducedSubgraphByLabels returns the subgraph induced by the vertices
+// with the given labels, ignoring labels not present in the graph. Useful
+// for re-extracting a component (e.g. a community returned by an
+// enumeration) from the original graph.
+func (g *Graph) InducedSubgraphByLabels(labels []int64) *Graph {
+	idx := g.LabelIndex()
+	vs := make([]int, 0, len(labels))
+	seen := make(map[int]bool, len(labels))
+	for _, l := range labels {
+		if v, ok := idx[l]; ok && !seen[v] {
+			seen[v] = true
+			vs = append(vs, v)
+		}
+	}
+	return g.InducedSubgraph(vs)
+}
+
+// SpanningSubgraph returns a graph on the same vertex set (same ids, same
+// labels) containing exactly the given edges. Edges must reference valid
+// vertices; duplicates and self-loops are dropped.
+func (g *Graph) SpanningSubgraph(edges [][2]int) *Graph {
+	adj := make([][]int, len(g.adj))
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	m := normalize(adj)
+	labels := append([]int64(nil), g.labels...)
+	return &Graph{adj: adj, labels: labels, m: m}
+}
+
+// RemoveVertices returns the subgraph induced by all vertices not in the
+// set, along with the slice of kept original ids (parallel to the new
+// numbering).
+func (g *Graph) RemoveVertices(remove map[int]bool) (*Graph, []int) {
+	kept := make([]int, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		if !remove[v] {
+			kept = append(kept, v)
+		}
+	}
+	return g.InducedSubgraph(kept), kept
+}
+
+// RemoveEdges returns a graph on the same vertex set with the given edges
+// removed. Each edge may be listed in either orientation.
+func (g *Graph) RemoveEdges(edges [][2]int) *Graph {
+	drop := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		drop[[2]int{u, v}] = true
+	}
+	adj := make([][]int, len(g.adj))
+	m := 0
+	for u, nbrs := range g.adj {
+		for _, v := range nbrs {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			if !drop[[2]int{a, b}] {
+				adj[u] = append(adj[u], v)
+				m++
+			}
+		}
+	}
+	labels := append([]int64(nil), g.labels...)
+	return &Graph{adj: adj, labels: labels, m: m / 2}
+}
+
+func sortAdjacency(adj [][]int) {
+	for _, nbrs := range adj {
+		sort.Ints(nbrs)
+	}
+}

@@ -1,0 +1,128 @@
+package graph
+
+import "sort"
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted ascending. Components are ordered by their smallest vertex.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.NumVertices()
+	seen := make([]bool, n)
+	queue := make([]int, 0, n)
+	var comps [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue = append(queue[:0], s)
+		comp := []int{s}
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the graph is connected. The empty graph is
+// not connected; a single vertex is.
+func (g *Graph) IsConnected() bool {
+	n := g.NumVertices()
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	seen[0] = true
+	stack := []int{0}
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// BFSDistances returns the unweighted shortest-path distance from src to
+// every vertex (-1 for unreachable vertices).
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the greatest BFS distance from src to any reachable
+// vertex.
+func (g *Graph) Eccentricity(src int) int {
+	ecc := 0
+	for _, d := range g.BFSDistances(src) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// ConnectedAvoiding reports whether the graph with the vertices in avoid
+// removed is still connected (considering only the remaining vertices; a
+// remainder of zero vertices counts as disconnected, one vertex as
+// connected). This is the defensive check used to validate vertex cuts.
+func (g *Graph) ConnectedAvoiding(avoid map[int]bool) bool {
+	n := g.NumVertices()
+	remaining := n - len(avoid)
+	if remaining <= 0 {
+		return false
+	}
+	start := -1
+	for v := 0; v < n; v++ {
+		if !avoid[v] {
+			start = v
+			break
+		}
+	}
+	seen := make([]bool, n)
+	seen[start] = true
+	stack := []int{start}
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] && !avoid[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == remaining
+}

@@ -1,0 +1,66 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+
+	"kvcc/graph"
+)
+
+func TestWriteDOTBasic(t *testing.T) {
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`graph "G" {`, "0 -- 1;", "1 -- 2;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "2 -- 1") {
+		t.Fatal("edges must be written once in canonical orientation")
+	}
+}
+
+func TestWriteDOTGroupsAndNames(t *testing.T) {
+	// Two triangles sharing vertex 2.
+	g := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}})
+	var sb strings.Builder
+	err := WriteDOT(&sb, g, DOTOptions{
+		Name:   "casestudy",
+		Labels: map[int64]string{0: "alice", 2: "shared"},
+		Groups: [][]int64{{0, 1, 2}, {2, 3, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"subgraph cluster_0", "subgraph cluster_1",
+		`label="alice"`, `label="shared"`,
+		"style=filled", // the shared vertex is highlighted
+		`graph "casestudy"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The shared vertex must be declared once, in the first cluster.
+	if strings.Count(out, `label="shared"`) != 1 {
+		t.Fatalf("shared vertex drawn more than once:\n%s", out)
+	}
+}
+
+func TestWriteDOTUngroupedVertices(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, DOTOptions{Groups: [][]int64{{0, 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `2 [label="2"]`) || !strings.Contains(out, `3 [label="3"]`) {
+		t.Fatalf("ungrouped vertices missing:\n%s", out)
+	}
+}

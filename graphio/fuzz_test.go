@@ -1,0 +1,37 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList feeds arbitrary bytes to the parser: it must never
+// panic, and whatever parses successfully must survive a write/read
+// round-trip unchanged.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("1 2\n2 3\n"))
+	f.Add([]byte("# comment\n\n10\t20\n"))
+	f.Add([]byte("a b\n"))
+	f.Add([]byte("1\n"))
+	f.Add([]byte("9223372036854775807 -9223372036854775808\n"))
+	f.Add([]byte("1 2 3 4 extra\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf strings.Builder
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write failed on parsed graph: %v", err)
+		}
+		back, err := ReadEdgeList(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round-trip changed shape: %v -> %v", g, back)
+		}
+	})
+}

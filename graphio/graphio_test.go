@@ -1,0 +1,113 @@
+package graphio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kvcc/gen"
+	"kvcc/graph"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	input := `# a comment
+1 2
+2	3
+
+# trailing comment
+3 1
+4 4
+`
+	g, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d, want 3 and 3 (self-loop dropped)", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, input string
+	}{
+		{"one-field", "1\n"},
+		{"non-numeric", "a b\n"},
+		{"bad-second", "1 x\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("%s: error should cite the line: %v", tc.name, err)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := gen.GNM(80, 300, 4)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip: n=%d->%d m=%d->%d",
+			g.NumVertices(), back.NumVertices(), g.NumEdges(), back.NumEdges())
+	}
+	// Same edge set by label.
+	idx := back.LabelIndex()
+	for _, e := range g.Edges(nil) {
+		bu, bv := idx[g.Label(e[0])], idx[g.Label(e[1])]
+		if !back.HasEdge(bu, bv) {
+			t.Fatalf("edge (%d,%d) lost in roundtrip", g.Label(e[0]), g.Label(e[1]))
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := gen.GNM(40, 100, 9)
+	if err := WriteEdgeListFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("file roundtrip m=%d, want %d", back.NumEdges(), g.NumEdges())
+	}
+	if _, err := ReadEdgeListFile(filepath.Join(dir, "missing.txt")); !os.IsNotExist(err) {
+		t.Fatalf("missing file error = %v", err)
+	}
+}
+
+func TestWriteComponents(t *testing.T) {
+	g1 := gen.GNM(5, 6, 1)
+	g2 := gen.GNM(3, 3, 2)
+	var buf bytes.Buffer
+	if err := WriteComponents(&buf, []*graph.Graph{g1, g2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# component 0:") || !strings.Contains(out, "# component 1:") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+}

@@ -1,0 +1,34 @@
+package hierarchy_test
+
+import (
+	"fmt"
+
+	"kvcc/graph"
+	"kvcc/hierarchy"
+)
+
+// Two K4s joined at a single vertex: one 1-VCC splits into two 3-connected
+// blocks at levels 2 and 3; the shared vertex has cohesion 3.
+func ExampleBuild() {
+	var edges [][2]int
+	for _, c := range [][]int{{0, 1, 2, 3}, {3, 4, 5, 6}} {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				edges = append(edges, [2]int{c[i], c[j]})
+			}
+		}
+	}
+	g := graph.FromEdges(7, edges)
+
+	tree, err := hierarchy.Build(g, hierarchy.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("levels:", tree.MaxK)
+	fmt.Println("level 2 components:", len(tree.Level(2)))
+	fmt.Println("cohesion of the hinge vertex:", tree.Cohesion(3))
+	// Output:
+	// levels: 3
+	// level 2 components: 2
+	// cohesion of the hinge vertex: 3
+}

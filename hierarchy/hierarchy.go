@@ -1,0 +1,215 @@
+// Package hierarchy builds the structural cohesion hierarchy of a graph:
+// the nesting tree of k-VCCs for k = 1, 2, 3, ... (Moody & White's
+// hierarchical conception of social cohesion, reference [20] of the
+// paper). Level k of the tree holds exactly the k-VCCs of the graph; each
+// (k+1)-VCC is nested inside exactly one k-VCC, because two distinct
+// k-VCCs overlap in fewer than k vertices (Property 1) while a (k+1)-VCC
+// has more than k+1.
+//
+// That same fact makes the construction efficient: level k+1 is computed
+// by enumerating (k+1)-VCCs inside each level-k component independently,
+// so the work shrinks as the hierarchy deepens.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"kvcc/graph"
+	"kvcc/internal/core"
+)
+
+// Node is one component of the hierarchy: a k-VCC at level K and the
+// (K+1)-VCCs nested inside it.
+type Node struct {
+	// K is the connectivity level (the component is a K-VCC).
+	K int
+	// Component is the subgraph, with vertex labels from the input graph.
+	Component *graph.Graph
+	// Children are the (K+1)-VCCs contained in this component, largest
+	// first.
+	Children []*Node
+}
+
+// Tree is the full hierarchy.
+type Tree struct {
+	// Roots are the 1-VCCs: connected components with at least two
+	// vertices.
+	Roots []*Node
+	// MaxK is the deepest level with at least one component.
+	MaxK int
+}
+
+// Options configures Build.
+type Options struct {
+	// MaxK stops the hierarchy at this level (0 = continue until a level
+	// is empty; termination is guaranteed because κ of any component is
+	// bounded by its degeneracy).
+	MaxK int
+	// Algorithm selects the enumeration variant (default VCCEStar).
+	Algorithm core.Algorithm
+}
+
+// Build computes the cohesion hierarchy of g.
+func Build(g *graph.Graph, opts Options) (*Tree, error) {
+	if g == nil {
+		return nil, errors.New("hierarchy: nil graph")
+	}
+	if opts.MaxK < 0 {
+		return nil, fmt.Errorf("hierarchy: negative MaxK %d", opts.MaxK)
+	}
+	coreOpts := core.Options{Algorithm: opts.Algorithm}
+
+	level1, _, err := core.Enumerate(g, 1, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	tree := &Tree{}
+	for _, c := range level1 {
+		tree.Roots = append(tree.Roots, &Node{K: 1, Component: c})
+	}
+	if len(tree.Roots) > 0 {
+		tree.MaxK = 1
+	}
+	frontier := tree.Roots
+	for k := 2; len(frontier) > 0 && (opts.MaxK == 0 || k <= opts.MaxK); k++ {
+		var next []*Node
+		for _, parent := range frontier {
+			comps, _, err := core.Enumerate(parent.Component, k, coreOpts)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range comps {
+				child := &Node{K: k, Component: c}
+				parent.Children = append(parent.Children, child)
+				next = append(next, child)
+			}
+		}
+		if len(next) > 0 {
+			tree.MaxK = k
+		}
+		frontier = next
+	}
+	return tree, nil
+}
+
+// Level returns all components at level k, largest first.
+func (t *Tree) Level(k int) []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.K == k {
+			out = append(out, n)
+			return // deeper nodes have higher K
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Component.NumVertices() > out[j].Component.NumVertices()
+	})
+	return out
+}
+
+// Cohesion returns the structural cohesion of a vertex: the deepest level
+// k at which some k-VCC contains the label, or 0 if the vertex is in no
+// component (isolated or absent).
+func (t *Tree) Cohesion(label int64) int {
+	best := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if !contains(n.Component, label) {
+			return
+		}
+		if n.K > best {
+			best = n.K
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return best
+}
+
+// Path returns the chain of components containing the label, one per
+// level, from level 1 down to the vertex's cohesion level. Vertices in
+// multiple k-VCCs at some level contribute the first (largest) one.
+func (t *Tree) Path(label int64) []*Node {
+	var path []*Node
+	nodes := t.Roots
+	for len(nodes) > 0 {
+		var found *Node
+		for _, n := range nodes {
+			if contains(n.Component, label) {
+				found = n
+				break
+			}
+		}
+		if found == nil {
+			break
+		}
+		path = append(path, found)
+		nodes = found.Children
+	}
+	return path
+}
+
+// Size returns the total number of components in the hierarchy.
+func (t *Tree) Size() int {
+	count := 0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		count++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return count
+}
+
+// Write renders the hierarchy as an indented outline.
+func (t *Tree) Write(w io.Writer) error {
+	var walk func(n *Node, depth int) error
+	walk = func(n *Node, depth int) error {
+		_, err := fmt.Fprintf(w, "%s%d-VCC: %d vertices, %d edges\n",
+			strings.Repeat("  ", depth), n.K,
+			n.Component.NumVertices(), n.Component.NumEdges())
+		if err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range t.Roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func contains(g *graph.Graph, label int64) bool {
+	for _, l := range g.Labels() {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package kvcc_test
+
+import (
+	"testing"
+
+	"kvcc"
+	"kvcc/internal/dataset"
+)
+
+// Full-dataset integration: enumerate every stand-in at a moderate scale
+// and validate every structural guarantee of every result. Guarded by
+// -short because it runs the whole pipeline end to end.
+func TestDatasetEnumerationValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test; run without -short")
+	}
+	for _, name := range dataset.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g := dataset.MustLoad(name, 0.1)
+			for _, k := range []int{8, 20} {
+				res, err := kvcc.Enumerate(g, k)
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if err := kvcc.Validate(g, res); err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if res.Stats.CutFallbacks != 0 {
+					t.Fatalf("k=%d: certificate fallback fired %d times",
+						k, res.Stats.CutFallbacks)
+				}
+			}
+		})
+	}
+}
+
+// The four variants agree on every dataset stand-in (component count and
+// sizes), complementing the exact-equality checks on smaller graphs.
+func TestDatasetVariantsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test; run without -short")
+	}
+	for _, name := range []string{"DBLP", "Cnr"} {
+		g := dataset.MustLoad(name, 0.1)
+		const k = 15
+		var sizes []int
+		for _, algo := range []kvcc.Algorithm{kvcc.VCCE, kvcc.VCCEN, kvcc.VCCEG, kvcc.VCCEStar} {
+			res, err := kvcc.Enumerate(g, k, kvcc.WithAlgorithm(algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cur []int
+			for _, c := range res.Components {
+				cur = append(cur, c.NumVertices())
+			}
+			if sizes == nil {
+				sizes = cur
+				continue
+			}
+			if len(cur) != len(sizes) {
+				t.Fatalf("%s %v: %d components, want %d", name, algo, len(cur), len(sizes))
+			}
+			for i := range cur {
+				if cur[i] != sizes[i] {
+					t.Fatalf("%s %v: component %d size %d, want %d",
+						name, algo, i, cur[i], sizes[i])
+				}
+			}
+		}
+	}
+}

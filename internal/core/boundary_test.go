@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"kvcc/graph"
+)
+
+// Boundary behaviour of the overlap size: two dense blocks sharing
+// exactly s vertices separate at k = s+1 and merge at k <= s (if the
+// union is k-connected).
+
+func blocksSharing(blockSize, shared int) *graph.Graph {
+	n := 2*blockSize - shared
+	var edges [][2]int
+	addClique := func(vs []int) {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				edges = append(edges, [2]int{vs[i], vs[j]})
+			}
+		}
+	}
+	a := make([]int, blockSize)
+	for i := range a {
+		a[i] = i
+	}
+	b := make([]int, blockSize)
+	for i := range b {
+		b[i] = blockSize - shared + i
+	}
+	addClique(a)
+	addClique(b)
+	return graph.FromEdges(n, edges)
+}
+
+func TestOverlapBoundaryExactlyKMinusOne(t *testing.T) {
+	// Shared set of size 3: at k=4 the shared set is a qualified cut
+	// (|S| = 3 < 4), so the blocks separate and overlap in exactly k-1
+	// vertices — the maximum Property 1 allows.
+	g := blocksSharing(8, 3)
+	for _, algo := range allAlgorithms {
+		comps := enumerate(t, g, 4, algo)
+		if len(comps) != 2 {
+			t.Fatalf("%v: %d components, want 2", algo, len(comps))
+		}
+		shared := overlapCount(comps[0], comps[1])
+		if shared != 3 {
+			t.Fatalf("%v: overlap = %d, want 3", algo, shared)
+		}
+	}
+}
+
+func TestOverlapBoundaryExactlyK(t *testing.T) {
+	// Shared set of size 4: at k=4 no cut smaller than k separates the
+	// blocks, so the union is one 4-VCC.
+	g := blocksSharing(8, 4)
+	for _, algo := range allAlgorithms {
+		comps := enumerate(t, g, 4, algo)
+		if len(comps) != 1 {
+			t.Fatalf("%v: %d components, want 1 (blocks must merge)", algo, len(comps))
+		}
+		if comps[0].NumVertices() != g.NumVertices() {
+			t.Fatalf("%v: merged component has %d vertices", algo, comps[0].NumVertices())
+		}
+	}
+}
+
+func TestMinimalQualifyingGraph(t *testing.T) {
+	// K_{k+1} is the smallest possible k-VCC.
+	for k := 1; k <= 5; k++ {
+		g := complete(k + 1)
+		for _, algo := range allAlgorithms {
+			comps := enumerate(t, g, k, algo)
+			if len(comps) != 1 || comps[0].NumVertices() != k+1 {
+				t.Fatalf("k=%d %v: comps=%d", k, algo, len(comps))
+			}
+		}
+	}
+}
+
+func TestStarGraphHasNoKVCC(t *testing.T) {
+	// A star has κ = 1; for k >= 2 nothing qualifies.
+	var edges [][2]int
+	for i := 1; i < 10; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	g := graph.FromEdges(10, edges)
+	for _, algo := range allAlgorithms {
+		if comps := enumerate(t, g, 2, algo); len(comps) != 0 {
+			t.Fatalf("%v: star produced %d 2-VCCs", algo, len(comps))
+		}
+	}
+}
+
+// A long chain of blocks forces deep partition recursion; the result must
+// still be exact and the partition count within Lemma 10's bound.
+func TestDeepPartitionChain(t *testing.T) {
+	const blocks = 20
+	var edges [][2]int
+	addClique := func(vs []int) {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				edges = append(edges, [2]int{vs[i], vs[j]})
+			}
+		}
+	}
+	n := 0
+	prevTail := -1
+	for b := 0; b < blocks; b++ {
+		vs := make([]int, 6)
+		for i := range vs {
+			if i == 0 && prevTail >= 0 {
+				vs[i] = prevTail // single shared vertex between blocks
+			} else {
+				vs[i] = n
+				n++
+			}
+		}
+		addClique(vs)
+		prevTail = vs[5]
+	}
+	g := graph.FromEdges(n, edges)
+	for _, algo := range allAlgorithms {
+		comps, stats, err := Enumerate(g, 2, Options{Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(comps) != blocks {
+			t.Fatalf("%v: %d components, want %d", algo, len(comps), blocks)
+		}
+		if stats.Partitions > int64(n)/2 {
+			t.Fatalf("%v: %d partitions exceeds Lemma 10 bound", algo, stats.Partitions)
+		}
+	}
+}
+
+func overlapCount(a, b *graph.Graph) int {
+	set := map[int64]bool{}
+	for _, l := range a.Labels() {
+		set[l] = true
+	}
+	count := 0
+	for _, l := range b.Labels() {
+		if set[l] {
+			count++
+		}
+	}
+	return count
+}

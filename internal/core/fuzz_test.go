@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"kvcc/graph"
+	"kvcc/internal/verify"
+)
+
+// FuzzEnumerateMatchesBrute decodes a byte string into a small graph (each
+// byte contributes one edge of K9) and checks all four algorithm variants
+// against the brute-force oracle.
+func FuzzEnumerateMatchesBrute(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23, 0x34, 0x45}, 2)
+	f.Add([]byte{0x01, 0x02, 0x12, 0x34, 0x35, 0x45, 0x03}, 2)
+	f.Add([]byte{0xff, 0x80, 0x42, 0x17, 0x29, 0x3a, 0x4b, 0x5c}, 3)
+	f.Fuzz(func(t *testing.T, data []byte, kRaw int) {
+		if len(data) > 24 {
+			data = data[:24]
+		}
+		const n = 9
+		var edges [][2]int
+		for _, b := range data {
+			u := int(b>>4) % n
+			v := int(b&0x0f) % n
+			if u != v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		g := graph.FromEdges(n, edges)
+		k := 2 + abs(kRaw)%3 // k in 2..4
+
+		want := canonicalSets(verify.KVCCBrute(g, k))
+		for _, algo := range []Algorithm{VCCE, VCCEN, VCCEG, VCCEStar} {
+			comps, _, err := Enumerate(g, k, Options{Algorithm: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := canonicalSets(componentLabels(comps))
+			if !setsEqual(got, want) {
+				t.Fatalf("%v k=%d: got %v, want %v (edges %v)",
+					algo, k, got, want, edges)
+			}
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == -v { // MinInt
+			return 0
+		}
+		return -v
+	}
+	return v
+}
+
+func componentLabels(comps []*graph.Graph) [][]int64 {
+	out := make([][]int64, 0, len(comps))
+	for _, c := range comps {
+		out = append(out, append([]int64(nil), c.Labels()...))
+	}
+	return out
+}
+
+func canonicalSets(sets [][]int64) [][]int64 {
+	for _, s := range sets {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return sets
+}
+
+func setsEqual(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

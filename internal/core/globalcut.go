@@ -1,0 +1,294 @@
+package core
+
+import (
+	"sort"
+
+	"kvcc/graph"
+	"kvcc/internal/flow"
+	"kvcc/internal/sparse"
+)
+
+// findCut searches a connected component for a vertex cut with fewer than
+// k vertices. It returns nil if the component is k-connected. The returned
+// hint carries this component's strong side-vertex set to its children.
+func (e *enumerator) findCut(g *graph.Graph, hint *ssvHint, stats *Stats) ([]int, *ssvHint) {
+	if e.opts.Algorithm == VCCE {
+		return e.findCutBasic(g, stats), nil
+	}
+	return e.findCutOptimized(g, hint, stats)
+}
+
+// findCutBasic is GLOBAL-CUT (Algorithm 2): sparse certificate, then local
+// connectivity tests from a minimum-degree source against every vertex
+// (phase 1) and between every pair of the source's neighbors (phase 2,
+// Lemma 4).
+func (e *enumerator) findCutBasic(g *graph.Graph, stats *Stats) []int {
+	cert := sparse.Compute(g, e.k)
+	sc := cert.SC
+	nw := flow.NewNetwork(sc, e.k)
+	defer func() { stats.FlowRuns += nw.FlowRuns }()
+
+	u, _ := sc.MinDegreeVertex()
+	for v := 0; v < sc.NumVertices(); v++ {
+		if v == u {
+			continue
+		}
+		stats.LocCutTests++
+		stats.TestedNonPrune++
+		if g.HasEdge(u, v) {
+			continue // Lemma 5: adjacent vertices are k-local connected
+		}
+		if cut, _, atLeast := nw.MinVertexCut(u, v); !atLeast {
+			return cut
+		}
+	}
+	nbrs := sc.Neighbors(u)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			stats.LocCutTests++
+			stats.Phase2Pairs++
+			if g.HasEdge(nbrs[i], nbrs[j]) {
+				continue
+			}
+			if cut, _, atLeast := nw.MinVertexCut(nbrs[i], nbrs[j]); !atLeast {
+				return cut
+			}
+		}
+	}
+	return nil
+}
+
+// findCutRaw is the defensive fallback: the basic two-phase search run on
+// the raw component without a sparse certificate, so any cut it finds is a
+// cut of the component by construction.
+func (e *enumerator) findCutRaw(g *graph.Graph, stats *Stats) []int {
+	nw := flow.NewNetwork(g, e.k)
+	defer func() { stats.FlowRuns += nw.FlowRuns }()
+	u, _ := g.MinDegreeVertex()
+	for v := 0; v < g.NumVertices(); v++ {
+		stats.LocCutTests++
+		if cut, _, atLeast := nw.MinVertexCut(u, v); !atLeast {
+			return cut
+		}
+	}
+	nbrs := g.Neighbors(u)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			stats.LocCutTests++
+			if cut, _, atLeast := nw.MinVertexCut(nbrs[i], nbrs[j]); !atLeast {
+				return cut
+			}
+		}
+	}
+	return nil
+}
+
+// sweep causes recorded per vertex for Table 2 attribution.
+const (
+	causeNone   uint8 = iota
+	causeSeed         // the source vertex itself
+	causeTested       // swept after its own successful test
+	causeNS1          // neighbor sweep rule 1: neighbor of a strong side-vertex
+	causeNS2          // neighbor sweep rule 2: vertex deposit reached k
+	causeGS           // group sweep rules 1-2
+)
+
+// cutFinder holds the per-component state of GLOBAL-CUT* (Algorithm 3).
+type cutFinder struct {
+	g  *graph.Graph // the component (sweeps, deposits, SSV tests)
+	sc *graph.Graph // sparse certificate (flow tests, phase-2 neighbors)
+	k  int
+	nw *flow.Network
+
+	useNS, useGS bool
+
+	hint         *ssvHint
+	ssvMemo      []int8
+	ssvDegreeCap int
+	stats        *Stats
+
+	groupID []int
+	groups  [][]int
+
+	pru        []bool
+	cause      []uint8
+	deposit    []int
+	gDeposit   []int
+	gProcessed []bool
+
+	stack []int // scratch for iterative sweep
+}
+
+// findCutOptimized is GLOBAL-CUT* (Algorithm 3) with the sweep strategies
+// selected by the algorithm variant.
+func (e *enumerator) findCutOptimized(g *graph.Graph, hint *ssvHint, stats *Stats) ([]int, *ssvHint) {
+	k := e.k
+	cert := sparse.Compute(g, k)
+	cf := &cutFinder{
+		g:            g,
+		sc:           cert.SC,
+		k:            k,
+		nw:           flow.NewNetwork(cert.SC, k),
+		useNS:        e.opts.Algorithm.neighborSweep(),
+		useGS:        e.opts.Algorithm.groupSweep(),
+		hint:         hint,
+		ssvDegreeCap: e.opts.SSVDegreeCap,
+		stats:        stats,
+	}
+	defer func() { stats.FlowRuns += cf.nw.FlowRuns }()
+
+	n := g.NumVertices()
+	cf.ssvMemo = make([]int8, n)
+	if cf.useGS {
+		cf.groupID = cert.GroupID
+		cf.groups = cert.SideGroups
+		cf.gDeposit = make([]int, len(cf.groups))
+		cf.gProcessed = make([]bool, len(cf.groups))
+	}
+	cf.pru = make([]bool, n)
+	cf.cause = make([]uint8, n)
+	cf.deposit = make([]int, n)
+
+	// Source selection (Algorithm 3, lines 4-7): prefer a strong
+	// side-vertex, since the source then cannot belong to any qualified
+	// cut and phase 2 can be skipped entirely. SSV statuses resolve
+	// lazily, so the scan is bounded; if no SSV turns up quickly, fall
+	// back to the minimum-degree vertex as in Algorithm 2.
+	u := -1
+	scan := n
+	if scan > ssvSourceScanLimit {
+		scan = ssvSourceScanLimit
+	}
+	for v := 0; v < scan; v++ {
+		if cf.isSSV(v) {
+			u = v
+			break
+		}
+	}
+	if u == -1 {
+		// Minimum degree in the sparse certificate: phase 2 enumerates
+		// pairs of N_SC(u), so the certificate degree is the quantity to
+		// minimize.
+		u, _ = cf.sc.MinDegreeVertex()
+	}
+	cf.sweep(u, causeSeed)
+
+	// Phase 1: process vertices in non-ascending distance from u
+	// (Algorithm 3, line 11) — remote vertices are the most likely to be
+	// separated from the source.
+	dist := g.BFSDistances(u)
+	order := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if v != u {
+			order = append(order, v)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if dist[a] != dist[b] {
+			return dist[a] > dist[b]
+		}
+		return a < b
+	})
+	for _, v := range order {
+		if cf.pru[v] {
+			switch cf.cause[v] {
+			case causeNS1:
+				stats.SweptNS1++
+			case causeNS2:
+				stats.SweptNS2++
+			case causeGS:
+				stats.SweptGS++
+			}
+			continue
+		}
+		stats.LocCutTests++
+		stats.TestedNonPrune++
+		if !cf.g.HasEdge(u, v) { // Lemma 5 shortcut on the full component
+			if cut, _, atLeast := cf.nw.MinVertexCut(u, v); !atLeast {
+				return cut, cf.buildHint()
+			}
+		}
+		cf.sweep(v, causeTested)
+	}
+
+	// Phase 2 (Algorithm 3, lines 16-21): only needed if the source could
+	// itself belong to a cut.
+	if !cf.isSSV(u) {
+		nbrs := cf.sc.Neighbors(u)
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				va, vb := nbrs[i], nbrs[j]
+				if cf.useGS && cf.groupID[va] >= 0 && cf.groupID[va] == cf.groupID[vb] {
+					stats.Phase2Skipped++ // group sweep rule 3
+					continue
+				}
+				stats.LocCutTests++
+				stats.Phase2Pairs++
+				if cf.g.HasEdge(va, vb) {
+					continue
+				}
+				if cut, _, atLeast := cf.nw.MinVertexCut(va, vb); !atLeast {
+					return cut, cf.buildHint()
+				}
+			}
+		}
+	}
+	return nil, cf.buildHint()
+}
+
+// ssvSourceScanLimit bounds the lazy scan for a strong side-vertex source.
+const ssvSourceScanLimit = 64
+
+// sweep marks v as swept (u ≡k v is established) and propagates the
+// neighbor-sweep and group-sweep rules iteratively (Algorithm 4).
+func (cf *cutFinder) sweep(v int, cause uint8) {
+	if cf.pru[v] {
+		return
+	}
+	cf.pru[v] = true
+	cf.cause[v] = cause
+	cf.stack = append(cf.stack[:0], v)
+	for len(cf.stack) > 0 {
+		x := cf.stack[len(cf.stack)-1]
+		cf.stack = cf.stack[:len(cf.stack)-1]
+
+		if cf.useNS {
+			xIsSSV := cf.isSSV(x)
+			for _, w := range cf.g.Neighbors(x) {
+				if cf.pru[w] {
+					continue
+				}
+				cf.deposit[w]++
+				switch {
+				case xIsSSV: // neighbor sweep rule 1 (Theorem 8 + Lemma 11)
+					cf.mark(w, causeNS1)
+				case cf.deposit[w] >= cf.k: // neighbor sweep rule 2 (Theorem 9)
+					cf.mark(w, causeNS2)
+				}
+			}
+		}
+		if cf.useGS {
+			gid := cf.groupID[x]
+			if gid >= 0 && !cf.gProcessed[gid] {
+				cf.gDeposit[gid]++
+				// Group sweep rule 1 (strong side-vertex member) or
+				// rule 2 (group deposit reached k, Theorem 11).
+				if cf.isSSV(x) || cf.gDeposit[gid] >= cf.k {
+					cf.gProcessed[gid] = true
+					for _, w := range cf.groups[gid] {
+						if !cf.pru[w] {
+							cf.mark(w, causeGS)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (cf *cutFinder) mark(w int, cause uint8) {
+	cf.pru[w] = true
+	cf.cause[w] = cause
+	cf.stack = append(cf.stack, w)
+}

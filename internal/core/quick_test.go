@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kvcc/graph"
+	"kvcc/internal/flow"
+)
+
+// Property-based sweep with testing/quick: for arbitrary seeds, the
+// enumeration output on a random graph satisfies every structural
+// invariant, and the four variants agree.
+func TestEnumerationInvariantsQuick(t *testing.T) {
+	property := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(25)
+		p := 0.15 + rng.Float64()*0.35
+		var edges [][2]int
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{rng.Intn(i), i})
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		g := graph.FromEdges(n, edges)
+		k := 2 + int(kRaw)%4
+
+		base, _, err := Enumerate(g, k, Options{Algorithm: VCCE})
+		if err != nil {
+			return false
+		}
+		for _, algo := range []Algorithm{VCCEN, VCCEG, VCCEStar} {
+			comps, _, err := Enumerate(g, k, Options{Algorithm: algo})
+			if err != nil || len(comps) != len(base) {
+				return false
+			}
+		}
+		// Invariants on the canonical result.
+		if int64(len(base)) > int64(n)/2 {
+			return false
+		}
+		sets := make([]map[int64]bool, len(base))
+		for i, c := range base {
+			if c.NumVertices() <= k {
+				return false
+			}
+			if kappa, _ := flow.GlobalVertexConnectivity(c, k); kappa < k {
+				return false
+			}
+			sets[i] = map[int64]bool{}
+			for _, l := range c.Labels() {
+				sets[i][l] = true
+			}
+		}
+		for i := range sets {
+			for j := i + 1; j < len(sets); j++ {
+				shared := 0
+				for l := range sets[j] {
+					if sets[i][l] {
+						shared++
+					}
+				}
+				if shared >= k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: enumeration is invariant under vertex relabeling (running on
+// an isomorphic copy yields the same component sizes).
+func TestRelabelingInvarianceQuick(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(20)
+		var edges [][2]int
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{rng.Intn(i), i})
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		g := graph.FromEdges(n, edges)
+		perm := rng.Perm(n)
+		permuted := make([][2]int, len(edges))
+		for i, e := range edges {
+			permuted[i] = [2]int{perm[e[0]], perm[e[1]]}
+		}
+		h := graph.FromEdges(n, permuted)
+
+		k := 3
+		a, _, err := Enumerate(g, k, Options{Algorithm: VCCEStar})
+		if err != nil {
+			return false
+		}
+		b, _, err := Enumerate(h, k, Options{Algorithm: VCCEStar})
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].NumVertices() != b[i].NumVertices() ||
+				a[i].NumEdges() != b[i].NumEdges() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import "kvcc/graph"
+
+// Strong side-vertex (SSV) handling, Theorem 8 and Lemmas 14-16.
+//
+// A vertex u is a strong side-vertex if every pair of its neighbors is
+// adjacent or shares at least k common neighbors; such a vertex cannot
+// belong to any qualified vertex cut, which powers neighbor sweep rule 1,
+// group sweep rule 1, source selection, and the phase-2 skip.
+//
+// Resolution is lazy and memoized: GLOBAL-CUT* on a component that is not
+// k-connected typically finds a cut after testing one or two far vertices,
+// so only the handful of SSV statuses actually queried by the sweeps are
+// ever computed. Terminal (k-connected) components resolve more statuses,
+// but they are exactly the components where the answers pay for themselves
+// by sweeping phase 1 and skipping phase 2.
+
+const (
+	ssvUnknown int8 = iota
+	ssvYes
+	ssvNo
+)
+
+// ssvHint carries resolved SSV knowledge from a parent component to the
+// subgraphs created by partitioning it:
+//
+//   - Lemma 15: a non-SSV of the parent cannot be an SSV of any child, so
+//     a resolved "no" propagates as "no".
+//   - Lemma 16 (strengthened to survive the k-core reduction between
+//     partitions): a parent SSV whose own degree and all of whose
+//     neighbors' degrees are unchanged in the child has an identical
+//     two-hop structure there and remains an SSV without rechecking.
+//     Children only ever remove vertices and edges, so equal degree means
+//     equal neighborhood.
+//
+// Unresolved vertices stay unknown and are rechecked on the child graph if
+// ever queried, which is intrinsically sound.
+type ssvHint struct {
+	ssv map[int64]bool // resolved statuses by label (true = SSV)
+	deg map[int64]int  // parent degrees of SSVs and of their neighbors
+}
+
+// isSSV resolves the strong side-vertex status of v, memoized.
+func (cf *cutFinder) isSSV(v int) bool {
+	switch cf.ssvMemo[v] {
+	case ssvYes:
+		return true
+	case ssvNo:
+		return false
+	}
+	res := cf.resolveSSV(v)
+	if res {
+		cf.ssvMemo[v] = ssvYes
+	} else {
+		cf.ssvMemo[v] = ssvNo
+	}
+	return res
+}
+
+func (cf *cutFinder) resolveSSV(v int) bool {
+	if h := cf.hint; h != nil {
+		lab := cf.g.Label(v)
+		if known, resolved := h.ssv[lab]; resolved {
+			if !known {
+				return false // Lemma 15
+			}
+			if h.preserved(cf.g, v) {
+				cf.stats.SSVInherited++
+				return true // Lemma 16
+			}
+		}
+	}
+	if checkSSV(cf.g, v, cf.k, cf.ssvDegreeCap) {
+		cf.stats.SSVDetected++
+		return true
+	}
+	return false
+}
+
+// buildHint snapshots the resolved part of the memo for the child tasks.
+func (cf *cutFinder) buildHint() *ssvHint {
+	h := &ssvHint{ssv: make(map[int64]bool), deg: make(map[int64]int)}
+	for v, st := range cf.ssvMemo {
+		switch st {
+		case ssvYes:
+			lab := cf.g.Label(v)
+			h.ssv[lab] = true
+			h.deg[lab] = cf.g.Degree(v)
+			for _, w := range cf.g.Neighbors(v) {
+				h.deg[cf.g.Label(w)] = cf.g.Degree(w)
+			}
+		case ssvNo:
+			h.ssv[cf.g.Label(v)] = false
+		}
+	}
+	return h
+}
+
+// preserved reports whether vertex v of g kept its parent degree and all
+// its neighbors kept theirs (the Lemma 16 shortcut condition).
+func (h *ssvHint) preserved(g *graph.Graph, v int) bool {
+	if d, ok := h.deg[g.Label(v)]; !ok || d != g.Degree(v) {
+		return false
+	}
+	for _, w := range g.Neighbors(v) {
+		if d, ok := h.deg[g.Label(w)]; !ok || d != g.Degree(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSSV runs the Theorem 8 test: v is a strong side-vertex if every
+// pair of its neighbors is adjacent or shares at least k common neighbors.
+// Vertices above the degree cap are reported non-SSV (a sound
+// under-approximation). The common-neighbor count stops as soon as it
+// reaches k.
+func checkSSV(g *graph.Graph, v, k, degreeCap int) bool {
+	nbrs := g.Neighbors(v)
+	if degreeCap > 0 && len(nbrs) > degreeCap {
+		return false
+	}
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			a, b := nbrs[i], nbrs[j]
+			if g.HasEdge(a, b) {
+				continue
+			}
+			if g.CommonNeighborCount(a, b, k) < k {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,68 @@
+package flow
+
+import "kvcc/graph"
+
+// LocalConnectivity returns min(κ(u,v), bound) for two distinct vertices,
+// building a one-shot network. Adjacent vertices cannot be separated by
+// vertex removal, so their connectivity is reported as bound.
+func LocalConnectivity(g *graph.Graph, u, v, bound int) int {
+	nw := NewNetwork(g, bound)
+	_, c, atLeast := nw.MinVertexCut(u, v)
+	if atLeast {
+		return bound
+	}
+	return c
+}
+
+// GlobalVertexConnectivity computes min(κ(G), bound) for a connected graph
+// and, when the value is below bound, a witness minimum vertex cut.
+//
+// It follows the two-phase structure of GLOBAL-CUT (Algorithm 2) without
+// the sparse-certificate and sweep optimizations: pick a minimum-degree
+// source u, test u against every other vertex, then test every pair of
+// neighbors of u (Lemma 4 covers the case u ∈ S).
+//
+// Degenerate cases per Definition 1: a complete graph on n vertices has
+// connectivity n-1; graphs with fewer than two vertices have connectivity 0.
+func GlobalVertexConnectivity(g *graph.Graph, bound int) (int, []int) {
+	n := g.NumVertices()
+	if n <= 1 {
+		return 0, nil
+	}
+	if !g.IsConnected() {
+		// A disconnected graph has connectivity 0 with the empty cut.
+		return 0, []int{}
+	}
+	if bound > n-1 {
+		bound = n - 1
+	}
+	if bound < 1 {
+		bound = 1
+	}
+	u, _ := g.MinDegreeVertex()
+	nw := NewNetwork(g, bound)
+
+	best := bound
+	var bestCut []int
+	consider := func(a, b int) {
+		cut, c, atLeast := nw.MinVertexCut(a, b)
+		if !atLeast && c < best {
+			best, bestCut = c, cut
+		}
+	}
+	for v := 0; v < n; v++ {
+		consider(u, v)
+	}
+	nbrs := g.Neighbors(u)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			consider(nbrs[i], nbrs[j])
+		}
+	}
+	if bestCut == nil {
+		// No separable pair was found below bound. Either the graph is
+		// bound-connected or it is complete (κ = n-1 <= bound).
+		return bound, nil
+	}
+	return best, bestCut
+}

@@ -1,0 +1,68 @@
+package flow
+
+// Alternative augmenting engine: Edmonds-Karp (one shortest augmenting
+// path per BFS) instead of Dinic's blocking flows. Both are exact; Dinic
+// amortizes one BFS over many augmentations, which is why it is the
+// default (see BenchmarkEngines and the ablation note in DESIGN.md).
+
+// Engine selects the max-flow augmentation strategy of a Network.
+type Engine int
+
+const (
+	// Dinic computes blocking flows per BFS level graph (default; the
+	// Even-Tarjan bound for unit-capacity split graphs).
+	Dinic Engine = iota
+	// EdmondsKarp augments one shortest path per BFS. Simpler, with the
+	// same answers; kept as a cross-validation engine and ablation
+	// baseline.
+	EdmondsKarp
+)
+
+// SetEngine selects the augmentation strategy for subsequent queries.
+func (nw *Network) SetEngine(e Engine) { nw.engine = e }
+
+// maxFlowEK pushes one unit along a BFS-shortest augmenting path until
+// either `limit` units flow or no path remains. Returns the flow value.
+func (nw *Network) maxFlowEK(src, dst int32, limit int) int {
+	// parentArc[v] is the arc used to reach v in the current BFS.
+	if nw.parentArc == nil {
+		nw.parentArc = make([]int32, len(nw.level))
+	}
+	value := 0
+	for value < limit {
+		for i := range nw.parentArc {
+			nw.parentArc[i] = -1
+		}
+		nw.parentArc[src] = -2 // mark visited without a parent
+		nw.queue = append(nw.queue[:0], src)
+		found := false
+	search:
+		for head := 0; head < len(nw.queue); head++ {
+			node := nw.queue[head]
+			for _, a := range nw.nodeArcs[node] {
+				to := nw.arcHead[a]
+				if nw.arcCap[a] > 0 && nw.parentArc[to] == -1 {
+					nw.parentArc[to] = a
+					if to == dst {
+						found = true
+						break search
+					}
+					nw.queue = append(nw.queue, to)
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		// Trace back and push one unit (every path crosses a unit vertex
+		// arc, so the bottleneck is 1).
+		for node := dst; node != src; {
+			a := nw.parentArc[node]
+			nw.arcCap[a]--
+			nw.arcCap[a^1]++
+			node = nw.arcHead[a^1]
+		}
+		value++
+	}
+	return value
+}

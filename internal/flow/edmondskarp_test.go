@@ -1,0 +1,89 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"kvcc/graph"
+	"kvcc/internal/verify"
+)
+
+// Both engines must agree with each other and with brute force on every
+// pair of every random graph.
+func TestEnginesAgree(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(7)
+		g := randomConnectedGraph(n, 0.35, rng)
+		dinic := NewNetwork(g, n)
+		ek := NewNetwork(g, n)
+		ek.SetEngine(EdmondsKarp)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if g.HasEdge(u, v) {
+					continue
+				}
+				cutD, cd, atLeastD := dinic.MinVertexCut(u, v)
+				cutE, ce, atLeastE := ek.MinVertexCut(u, v)
+				if atLeastD != atLeastE || cd != ce {
+					t.Fatalf("seed %d (%d,%d): dinic (%d,%v) vs ek (%d,%v)",
+						seed, u, v, cd, atLeastD, ce, atLeastE)
+				}
+				if !atLeastD {
+					if len(cutD) != len(cutE) {
+						t.Fatalf("seed %d (%d,%d): cut sizes %d vs %d",
+							seed, u, v, len(cutD), len(cutE))
+					}
+					want := verify.LocalConnectivityBrute(g, u, v)
+					if cd != want {
+						t.Fatalf("seed %d (%d,%d): κ = %d, brute %d", seed, u, v, cd, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The Edmonds-Karp engine must respect the early-termination bound.
+func TestEdmondsKarpEarlyTermination(t *testing.T) {
+	g := complete(10)
+	// K10 minus an edge: κ(0,1) = 8.
+	var edges [][2]int
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			if !(i == 0 && j == 1) {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	g = graph.FromEdges(10, edges)
+	nw := NewNetwork(g, 3)
+	nw.SetEngine(EdmondsKarp)
+	if _, _, atLeast := nw.MinVertexCut(0, 1); !atLeast {
+		t.Fatal("κ=8 >= bound 3 must report atLeastBound")
+	}
+	nwFull := NewNetwork(g, 9)
+	nwFull.SetEngine(EdmondsKarp)
+	if _, c, atLeast := nwFull.MinVertexCut(0, 1); atLeast || c != 8 {
+		t.Fatalf("κ(0,1) = %d atLeast=%v, want 8", c, atLeast)
+	}
+}
+
+// BenchmarkEngines is the ablation for the Dinic-vs-Edmonds-Karp design
+// choice called out in DESIGN.md.
+func BenchmarkEngines(b *testing.B) {
+	g := benchGraph(400, 0.08, 5)
+	for _, tc := range []struct {
+		name   string
+		engine Engine
+	}{{"dinic", Dinic}, {"edmonds-karp", EdmondsKarp}} {
+		b.Run(tc.name, func(b *testing.B) {
+			nw := NewNetwork(g, 15)
+			nw.SetEngine(tc.engine)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nw.MinVertexCut(0, 200+i%150)
+			}
+		})
+	}
+}

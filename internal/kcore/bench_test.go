@@ -1,0 +1,39 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"kvcc/graph"
+)
+
+func benchGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddVertex(int64(v))
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(int64(rng.Intn(n)), int64(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// BenchmarkCoreNumbers measures the full O(n+m) decomposition.
+func BenchmarkCoreNumbers(b *testing.B) {
+	g := benchGraph(20000, 100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CoreNumbers(g)
+	}
+}
+
+// BenchmarkReduce measures the k-core reduction applied at every level of
+// KVCC-ENUM.
+func BenchmarkReduce(b *testing.B) {
+	g := benchGraph(20000, 100000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Reduce(g, 8)
+	}
+}

@@ -1,0 +1,208 @@
+package kcore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kvcc/graph"
+)
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func randomGraph(n int, p float64, rng *rand.Rand) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// bruteCoreNumbers peels greedily, one minimum-degree vertex at a time.
+func bruteCoreNumbers(g *graph.Graph) []int {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	alive := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+		alive[v] = true
+	}
+	core := make([]int, n)
+	current := 0
+	for remaining := n; remaining > 0; remaining-- {
+		best := -1
+		for v := 0; v < n; v++ {
+			if alive[v] && (best == -1 || deg[v] < deg[best]) {
+				best = v
+			}
+		}
+		if deg[best] > current {
+			current = deg[best]
+		}
+		core[best] = current
+		alive[best] = false
+		for _, w := range g.Neighbors(best) {
+			if alive[w] {
+				deg[w]--
+			}
+		}
+	}
+	return core
+}
+
+func TestCoreNumbersKnown(t *testing.T) {
+	// A triangle with a pendant: triangle vertices have core 2, pendant 1.
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	core := CoreNumbers(g)
+	want := []int{2, 2, 2, 1}
+	for v, c := range core {
+		if c != want[v] {
+			t.Fatalf("core[%d] = %d, want %d (all: %v)", v, c, want[v], core)
+		}
+	}
+}
+
+func TestCoreNumbersComplete(t *testing.T) {
+	g := complete(6)
+	for v, c := range CoreNumbers(g) {
+		if c != 5 {
+			t.Fatalf("core[%d] = %d, want 5", v, c)
+		}
+	}
+}
+
+func TestCoreNumbersEmpty(t *testing.T) {
+	if CoreNumbers(graph.FromEdges(0, nil)) != nil {
+		t.Fatal("empty graph should give nil cores")
+	}
+	g := graph.FromEdges(3, nil)
+	for _, c := range CoreNumbers(g) {
+		if c != 0 {
+			t.Fatalf("isolated vertices must have core 0")
+		}
+	}
+}
+
+func TestCoreNumbersAgainstBrute(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(4+rng.Intn(30), 0.2+rng.Float64()*0.3, rng)
+		got := CoreNumbers(g)
+		want := bruteCoreNumbers(g)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: core[%d] = %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestReduceMinDegreeInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(5+rng.Intn(40), 0.15, rng)
+		k := 1 + rng.Intn(5)
+		red, peeled := Reduce(g, k)
+		if red.NumVertices()+0 > g.NumVertices() {
+			return false
+		}
+		if peeled != g.NumVertices()-red.NumVertices() {
+			return false
+		}
+		for v := 0; v < red.NumVertices(); v++ {
+			if red.Degree(v) < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reduce must keep exactly the vertices with core number >= k.
+func TestReduceMatchesCoreNumbers(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(10+rng.Intn(30), 0.2, rng)
+		core := CoreNumbers(g)
+		for k := 1; k <= 4; k++ {
+			red, _ := Reduce(g, k)
+			want := make(map[int64]bool)
+			for v, c := range core {
+				if c >= k {
+					want[g.Label(v)] = true
+				}
+			}
+			if red.NumVertices() != len(want) {
+				t.Fatalf("seed %d k %d: kept %d vertices, want %d", seed, k, red.NumVertices(), len(want))
+			}
+			for v := 0; v < red.NumVertices(); v++ {
+				if !want[red.Label(v)] {
+					t.Fatalf("seed %d k %d: kept unexpected vertex %d", seed, k, red.Label(v))
+				}
+			}
+		}
+	}
+}
+
+func TestReduceIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := randomGraph(40, 0.2, rng)
+	r1, _ := Reduce(g, 3)
+	r2, peeled := Reduce(r1, 3)
+	if peeled != 0 || r2.NumVertices() != r1.NumVertices() {
+		t.Fatalf("Reduce not idempotent: peeled %d", peeled)
+	}
+}
+
+func TestReduceKZero(t *testing.T) {
+	g := complete(4)
+	r, peeled := Reduce(g, 0)
+	if peeled != 0 || r != g {
+		t.Fatal("Reduce with k<=0 must be the identity")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two disjoint triangles joined by a path of degree-2 vertices: the
+	// 2-core is everything, the 3-core... nothing (triangles have degree 2).
+	g := graph.FromEdges(7, [][2]int{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+		{2, 6}, {6, 3},
+	})
+	comps := Components(g, 2)
+	if len(comps) != 1 {
+		t.Fatalf("2-core components = %d, want 1", len(comps))
+	}
+	comps = Components(g, 3)
+	if len(comps) != 0 {
+		t.Fatalf("3-core components = %d, want 0", len(comps))
+	}
+	// Two disjoint K4s.
+	var edges [][2]int
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, [2]int{i, j}, [2]int{i + 4, j + 4})
+		}
+	}
+	g2 := graph.FromEdges(8, edges)
+	comps = Components(g2, 3)
+	if len(comps) != 2 || comps[0].NumVertices() != 4 || comps[1].NumVertices() != 4 {
+		t.Fatalf("K4+K4 3-core components wrong: %v", comps)
+	}
+}

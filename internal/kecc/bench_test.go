@@ -1,0 +1,30 @@
+package kecc
+
+import (
+	"testing"
+
+	"kvcc/gen"
+)
+
+// BenchmarkEnumerate measures the full k-ECC baseline on a planted
+// community graph (the Figs. 7-9 workload).
+func BenchmarkEnumerate(b *testing.B) {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 10, MinSize: 15, MaxSize: 30, IntraProb: 0.6,
+		ChainOverlap: 2, ChainEvery: 3, BridgeEdges: 8,
+		NoiseVertices: 300, NoiseDegree: 2, Seed: 4,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Enumerate(g, 6)
+	}
+}
+
+// BenchmarkEdgeConnectivity measures one full Stoer-Wagner run.
+func BenchmarkEdgeConnectivity(b *testing.B) {
+	g := gen.GNP(300, 0.1, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeConnectivity(g)
+	}
+}

@@ -1,0 +1,234 @@
+package kecc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kvcc/graph"
+	"kvcc/internal/verify"
+)
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func cycle(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func randomConnectedGraph(n int, p float64, rng *rand.Rand) *graph.Graph {
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{rng.Intn(i), i})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func TestEdgeConnectivityKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"K5", complete(5), 4},
+		{"C7", cycle(7), 2},
+		{"path", graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}}), 1},
+		{"single", graph.FromEdges(1, nil), 0},
+		{"disconnected", graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}}), 0},
+	}
+	for _, tc := range cases {
+		if got := EdgeConnectivity(tc.g); got != tc.want {
+			t.Errorf("%s: λ = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEdgeConnectivityAgainstBrute(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(7)
+		g := randomConnectedGraph(n, 0.35, rng)
+		want := verify.EdgeConnectivityBrute(g)
+		if got := EdgeConnectivity(g); got != want {
+			t.Fatalf("seed %d: λ = %d, want %d (edges %v)", seed, got, want, g.Edges(nil))
+		}
+	}
+}
+
+func labelSets(comps []*graph.Graph) [][]int64 {
+	out := make([][]int64, 0, len(comps))
+	for _, c := range comps {
+		ls := append([]int64(nil), c.Labels()...)
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		out = append(out, ls)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func canonical(sets [][]int64) [][]int64 {
+	for _, s := range sets {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return sets
+}
+
+func equalSets(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEnumerateAgainstBrute(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(6)
+		g := randomConnectedGraph(n, 0.3+rng.Float64()*0.3, rng)
+		for k := 2; k <= 3; k++ {
+			want := canonical(verify.KECCBrute(g, k))
+			got := labelSets(Enumerate(g, k))
+			if !equalSets(got, want) {
+				t.Fatalf("seed %d k %d:\n got %v\nwant %v\nedges %v",
+					seed, k, got, want, g.Edges(nil))
+			}
+		}
+	}
+}
+
+func TestEnumeratePaperFigure1Shape(t *testing.T) {
+	// Fig. 1: with k=4, the 4-ECCs are {G1 ∪ G2 ∪ G3} and {G4}: blocks
+	// sharing an edge or vertex merge under edge connectivity, while the
+	// block pair joined by only two edges separates.
+	var edges [][2]int
+	clique := func(vs []int) {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				edges = append(edges, [2]int{vs[i], vs[j]})
+			}
+		}
+	}
+	clique([]int{0, 1, 2, 3, 7, 8})       // G1 (a=7, b=8)
+	clique([]int{7, 8, 9, 10, 11, 12})    // G2 shares edge (7,8)
+	clique([]int{12, 13, 14, 15, 16, 17}) // G3 shares vertex 12
+	clique([]int{18, 19, 20, 21, 22})     // G4
+	edges = append(edges, [2]int{16, 18}, [2]int{17, 19})
+	g := graph.FromEdges(23, edges)
+
+	comps := Enumerate(g, 4)
+	if len(comps) != 2 {
+		t.Fatalf("4-ECCs = %v, want 2 components", labelSets(comps))
+	}
+	// G1 ∪ G2 ∪ G3 = 6+6+6 vertices minus the shared pair {7,8} and the
+	// shared vertex 12 = 15 vertices; G4 has 5.
+	sizes := []int{comps[0].NumVertices(), comps[1].NumVertices()}
+	sort.Ints(sizes)
+	if sizes[0] != 5 || sizes[1] != 15 {
+		t.Fatalf("4-ECC sizes = %v, want [5 15]", sizes)
+	}
+}
+
+func TestEnumerateDisjointCliques(t *testing.T) {
+	var edges [][2]int
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, [2]int{i, j}, [2]int{i + 4, j + 4})
+		}
+	}
+	g := graph.FromEdges(8, edges)
+	comps := Enumerate(g, 3)
+	if len(comps) != 2 {
+		t.Fatalf("got %d 3-ECCs, want 2", len(comps))
+	}
+}
+
+func TestEnumerateEveryOutputIsKEdgeConnected(t *testing.T) {
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(20+rng.Intn(20), 0.25, rng)
+		for k := 2; k <= 4; k++ {
+			for _, c := range Enumerate(g, k) {
+				if got := EdgeConnectivity(c); got < k {
+					t.Fatalf("seed %d k %d: output has λ = %d", seed, k, got)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumeratePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Enumerate(complete(3), 0)
+}
+
+// k-VCC ⊆ k-ECC ⊆ k-core nesting is checked in the facade integration
+// tests; here we only verify that k-ECC vertex sets never overlap.
+func TestKECCsAreDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnectedGraph(40, 0.2, rng)
+	comps := Enumerate(g, 3)
+	seen := map[int64]bool{}
+	for _, c := range comps {
+		for _, l := range c.Labels() {
+			if seen[l] {
+				t.Fatalf("vertex %d appears in two k-ECCs", l)
+			}
+			seen[l] = true
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"kvcc/graph"
+)
+
+func benchGraph(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{rng.Intn(i), i})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// BenchmarkCompute measures certificate construction (k scan-first
+// passes), paid once per GLOBAL-CUT call.
+func BenchmarkCompute(b *testing.B) {
+	for _, k := range []int{5, 20} {
+		b.Run(map[int]string{5: "k=5", 20: "k=20"}[k], func(b *testing.B) {
+			g := benchGraph(2000, 0.02, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Compute(g, k)
+			}
+		})
+	}
+}

@@ -1,0 +1,179 @@
+// Package sparse computes sparse certificates for k-vertex connectivity via
+// scan-first search (Cheriyan–Kao–Thurimella; Theorem 5 of the paper) and
+// extracts the side-groups used by the group-sweep optimization
+// (Theorem 10).
+//
+// A sparse certificate SC is a spanning subgraph with at most k(n-1) edges
+// that preserves k-vertex connectivity: SC is k-connected iff G is. The CKT
+// construction has a stronger property this implementation relies on: every
+// edge of G absent from SC joins two vertices with local connectivity >= k
+// inside SC. Consequently removing any vertex set S with |S| < k splits SC
+// and G into identical vertex partitions, so a (<k)-cut found on SC is a
+// (<k)-cut of G, and local connectivities below k agree between the two
+// graphs. GLOBAL-CUT therefore runs entirely on SC.
+package sparse
+
+import "kvcc/graph"
+
+// Certificate bundles the sparse certificate of a graph with the artifacts
+// of its construction that the sweep optimizations reuse.
+type Certificate struct {
+	// SC is the certificate: same vertex ids and labels as the input graph,
+	// edge set F_1 ∪ ... ∪ F_k.
+	SC *graph.Graph
+	// SideGroups are the vertex sets of the connected components of the
+	// k-th scan-first forest F_k that have more than k vertices. Any two
+	// vertices in one side-group are k-locally connected (Theorem 10), so
+	// the group sweep may skip connectivity tests inside a group.
+	SideGroups [][]int
+	// GroupID maps each vertex to its side-group index, or -1.
+	GroupID []int
+}
+
+// Compute builds the sparse certificate of g for parameter k by running k
+// rounds of scan-first search. Round i builds a spanning forest F_i of the
+// graph G_{i-1} = (V, E - F_1 - ... - F_{i-1}); the certificate is the
+// union of the k forests.
+func Compute(g *graph.Graph, k int) *Certificate {
+	if k < 1 {
+		panic("sparse: k must be >= 1")
+	}
+	n := g.NumVertices()
+
+	// Assign every undirected edge an id so forests can mark edges used.
+	// eid[v][i] is the id of the edge to g.Neighbors(v)[i].
+	eids := make([][]int32, n)
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		eids[v] = make([]int32, len(g.Neighbors(v)))
+	}
+	// Two-pointer pass: for u < v assign a fresh id and record it on both
+	// endpoints. Position of u in adj[v] is found by walking a cursor per
+	// vertex (adjacency lists are sorted, and we visit u in increasing
+	// order).
+	cursor := make([]int, n)
+	for u := 0; u < n; u++ {
+		for i, v := range g.Neighbors(u) {
+			if u < v {
+				id := next
+				next++
+				eids[u][i] = id
+				// advance cursor[v] to u
+				for g.Neighbors(v)[cursor[v]] != u {
+					cursor[v]++
+				}
+				eids[v][cursor[v]] = id
+			}
+		}
+	}
+
+	used := make([]bool, g.NumEdges())
+	marked := make([]bool, n)
+	queue := make([]int, 0, n)
+	certEdges := make([][2]int, 0, max(0, min(k*(n-1), g.NumEdges())))
+	var lastForest [][2]int
+
+	for round := 0; round < k; round++ {
+		forest := scanFirstForest(g, eids, used, marked, queue[:0])
+		if len(forest) == 0 {
+			break // remaining graph has no edges; later forests are empty
+		}
+		certEdges = append(certEdges, forest...)
+		if round == k-1 {
+			lastForest = forest
+		}
+	}
+	sc := g.SpanningSubgraph(certEdges)
+	groups, groupID := sideGroups(n, lastForest, k)
+	return &Certificate{SC: sc, SideGroups: groups, GroupID: groupID}
+}
+
+// scanFirstForest performs one scan-first search over the edges not yet
+// used, marking the forest edges it takes as used. It returns the forest
+// edge list. A BFS scan order is used (BFS is a scan-first search).
+func scanFirstForest(g *graph.Graph, eids [][]int32, used, marked []bool, queue []int) [][2]int {
+	n := g.NumVertices()
+	for i := range marked {
+		marked[i] = false
+	}
+	var forest [][2]int
+	for root := 0; root < n; root++ {
+		if marked[root] {
+			continue
+		}
+		marked[root] = true
+		queue = append(queue[:0], root)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for i, w := range g.Neighbors(v) {
+				if used[eids[v][i]] || marked[w] {
+					continue
+				}
+				marked[w] = true
+				used[eids[v][i]] = true
+				forest = append(forest, [2]int{v, w})
+				queue = append(queue, w)
+			}
+		}
+	}
+	return forest
+}
+
+// sideGroups groups vertices by connected component of the k-th forest and
+// keeps components with more than k vertices (smaller groups cannot trigger
+// the group-deposit rule, Theorem 11, and are ignored as in Section 5.3).
+func sideGroups(n int, forest [][2]int, k int) ([][]int, []int) {
+	groupID := make([]int, n)
+	for i := range groupID {
+		groupID[i] = -1
+	}
+	if len(forest) == 0 {
+		return nil, groupID
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range forest {
+		ra, rb := find(e[0]), find(e[1])
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	members := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		r := find(v)
+		members[r] = append(members[r], v)
+	}
+	var groups [][]int
+	for v := 0; v < n; v++ { // deterministic order: by smallest member
+		if find(v) != v {
+			continue
+		}
+		comp := members[v]
+		if len(comp) <= k {
+			continue
+		}
+		id := len(groups)
+		for _, w := range comp {
+			groupID[w] = id
+		}
+		groups = append(groups, comp)
+	}
+	return groups, groupID
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,232 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"kvcc/graph"
+	"kvcc/internal/flow"
+)
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func randomConnectedGraph(n int, p float64, rng *rand.Rand) *graph.Graph {
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{rng.Intn(i), i})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func TestCertificateEdgeBound(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		g := randomConnectedGraph(n, 0.3, rng)
+		for k := 1; k <= 5; k++ {
+			cert := Compute(g, k)
+			if cert.SC.NumEdges() > k*(n-1) {
+				t.Fatalf("seed %d k %d: %d edges > k(n-1) = %d",
+					seed, k, cert.SC.NumEdges(), k*(n-1))
+			}
+			if cert.SC.NumVertices() != n {
+				t.Fatalf("certificate changed vertex count")
+			}
+		}
+	}
+}
+
+func TestCertificateIsSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnectedGraph(30, 0.3, rng)
+	cert := Compute(g, 3)
+	for _, e := range cert.SC.Edges(nil) {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("certificate edge %v not in original graph", e)
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if cert.SC.Label(v) != g.Label(v) {
+			t.Fatal("labels not preserved")
+		}
+	}
+}
+
+func TestCertificateSmallGraphExact(t *testing.T) {
+	// With k >= max degree the certificate must keep every edge.
+	g := complete(5)
+	cert := Compute(g, 4)
+	if cert.SC.NumEdges() != g.NumEdges() {
+		t.Fatalf("K5 with k=4: %d edges, want %d", cert.SC.NumEdges(), g.NumEdges())
+	}
+}
+
+// Core CKT property: local connectivity capped at k is preserved.
+func TestCertificatePreservesCappedConnectivity(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(8)
+		g := randomConnectedGraph(n, 0.4, rng)
+		for k := 1; k <= 4; k++ {
+			cert := Compute(g, k)
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if g.HasEdge(u, v) {
+						continue
+					}
+					inG := flow.LocalConnectivity(g, u, v, k)
+					if cert.SC.HasEdge(u, v) {
+						// Edge retained: connectivity in SC is infinite-ish.
+						continue
+					}
+					inSC := flow.LocalConnectivity(cert.SC, u, v, k)
+					if inG != inSC {
+						t.Fatalf("seed %d k %d: min(κ(%d,%d),k) differs: G=%d SC=%d",
+							seed, k, u, v, inG, inSC)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Every edge dropped from the certificate joins vertices that are still
+// k-connected inside the certificate (the property that makes cuts of SC
+// cuts of G).
+func TestDroppedEdgesAreKConnectedInCertificate(t *testing.T) {
+	for seed := int64(50); seed < 70; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(8)
+		g := randomConnectedGraph(n, 0.5, rng)
+		for k := 1; k <= 4; k++ {
+			cert := Compute(g, k)
+			for _, e := range g.Edges(nil) {
+				if cert.SC.HasEdge(e[0], e[1]) {
+					continue
+				}
+				c := flow.LocalConnectivity(cert.SC, e[0], e[1], k)
+				if c < k {
+					t.Fatalf("seed %d k %d: dropped edge %v has κ_SC = %d < k",
+						seed, k, e, c)
+				}
+			}
+		}
+	}
+}
+
+// A (<k)-vertex cut of the certificate must disconnect the original graph.
+func TestCertificateCutsApplyToOriginal(t *testing.T) {
+	for seed := int64(200); seed < 230; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(10)
+		g := randomConnectedGraph(n, 0.25, rng)
+		k := 2 + rng.Intn(3)
+		cert := Compute(g, k)
+		kappa, cut := flow.GlobalVertexConnectivity(cert.SC, k)
+		if kappa >= k || cut == nil {
+			continue // certificate (hence g) is k-connected
+		}
+		avoid := map[int]bool{}
+		for _, v := range cut {
+			avoid[v] = true
+		}
+		if g.ConnectedAvoiding(avoid) {
+			t.Fatalf("seed %d: cut %v of SC does not disconnect G", seed, cut)
+		}
+	}
+}
+
+func TestSideGroupsPairwiseKConnected(t *testing.T) {
+	tested := 0
+	for seed := int64(0); seed < 40 && tested < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(10)
+		g := randomConnectedGraph(n, 0.5, rng)
+		k := 3
+		cert := Compute(g, k)
+		for _, group := range cert.SideGroups {
+			tested++
+			for i := 0; i < len(group); i++ {
+				for j := i + 1; j < len(group); j++ {
+					u, v := group[i], group[j]
+					if g.HasEdge(u, v) {
+						continue
+					}
+					if c := flow.LocalConnectivity(g, u, v, k); c < k {
+						t.Fatalf("seed %d: side-group pair (%d,%d) has κ = %d < %d",
+							seed, u, v, c, k)
+					}
+				}
+			}
+		}
+	}
+	if tested == 0 {
+		t.Skip("no side-groups generated; loosen generator parameters")
+	}
+}
+
+func TestSideGroupInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomConnectedGraph(40, 0.4, rng)
+	k := 3
+	cert := Compute(g, k)
+	seen := make(map[int]int)
+	for id, group := range cert.SideGroups {
+		if len(group) <= k {
+			t.Fatalf("side-group %d has %d <= k members", id, len(group))
+		}
+		for _, v := range group {
+			if cert.GroupID[v] != id {
+				t.Fatalf("GroupID[%d] = %d, want %d", v, cert.GroupID[v], id)
+			}
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("vertex %d in groups %d and %d", v, prev, id)
+			}
+			seen[v] = id
+		}
+	}
+	for v, id := range cert.GroupID {
+		if id == -1 {
+			if _, in := seen[v]; in {
+				t.Fatalf("vertex %d marked -1 but in a group", v)
+			}
+		}
+	}
+}
+
+func TestComputePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Compute(complete(3), 0)
+}
+
+func TestCertificateEmptyAndTinyGraphs(t *testing.T) {
+	empty := graph.FromEdges(0, nil)
+	cert := Compute(empty, 2)
+	if cert.SC.NumVertices() != 0 || len(cert.SideGroups) != 0 {
+		t.Fatal("empty graph certificate wrong")
+	}
+	single := graph.FromEdges(1, nil)
+	cert = Compute(single, 3)
+	if cert.SC.NumVertices() != 1 || cert.SC.NumEdges() != 0 {
+		t.Fatal("single vertex certificate wrong")
+	}
+}

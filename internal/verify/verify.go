@@ -1,0 +1,233 @@
+// Package verify provides exponential-time brute-force oracles used by
+// tests as ground truth for the polynomial algorithms: exact vertex
+// connectivity by cut enumeration, exact k-VCC enumeration by maximal
+// subset search, and exact edge connectivity by bipartition enumeration.
+// All functions are intended for tiny graphs only (n ≲ 16).
+package verify
+
+import (
+	"math/bits"
+
+	"kvcc/graph"
+)
+
+// LocalConnectivityBrute returns min(κ(u,v), n) computed by enumerating all
+// vertex subsets not containing u or v, smallest first. Adjacent vertices
+// get n (cannot be separated).
+func LocalConnectivityBrute(g *graph.Graph, u, v int) int {
+	n := g.NumVertices()
+	if g.HasEdge(u, v) || u == v {
+		return n
+	}
+	others := make([]int, 0, n-2)
+	for w := 0; w < n; w++ {
+		if w != u && w != v {
+			others = append(others, w)
+		}
+	}
+	best := n
+	for mask := 0; mask < 1<<len(others); mask++ {
+		size := bits.OnesCount(uint(mask))
+		if size >= best {
+			continue
+		}
+		avoid := make(map[int]bool, size)
+		for i, w := range others {
+			if mask&(1<<i) != 0 {
+				avoid[w] = true
+			}
+		}
+		if !sameComponentAvoiding(g, u, v, avoid) {
+			best = size
+		}
+	}
+	return best
+}
+
+// VertexConnectivityBrute returns κ(G) per Definition 1: the minimum number
+// of vertices whose removal disconnects the graph or leaves a single
+// vertex. For a complete graph K_n it returns n-1.
+func VertexConnectivityBrute(g *graph.Graph) int {
+	n := g.NumVertices()
+	if n <= 1 {
+		return 0
+	}
+	if !g.IsConnected() {
+		return 0
+	}
+	best := n - 1
+	for mask := 0; mask < 1<<n; mask++ {
+		size := bits.OnesCount(uint(mask))
+		if size >= best {
+			continue
+		}
+		avoid := make(map[int]bool, size)
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				avoid[v] = true
+			}
+		}
+		if n-size >= 2 && !g.ConnectedAvoiding(avoid) {
+			best = size
+		}
+	}
+	return best
+}
+
+// IsKConnectedBrute reports whether g is k-vertex connected per
+// Definition 2: more than k vertices and κ(G) >= k.
+func IsKConnectedBrute(g *graph.Graph, k int) bool {
+	if g.NumVertices() <= k {
+		return false
+	}
+	if !g.IsConnected() {
+		return k <= 0
+	}
+	return VertexConnectivityBrute(g) >= k
+}
+
+// KVCCBrute enumerates all k-VCCs of g by checking every vertex subset:
+// a subset qualifies if its induced subgraph is k-connected with more than
+// k vertices, and no strict superset qualifies. Subsets are returned as
+// sorted label slices in deterministic order.
+func KVCCBrute(g *graph.Graph, k int) [][]int64 {
+	n := g.NumVertices()
+	type candidate struct {
+		mask uint
+		size int
+	}
+	var cands []candidate
+	for mask := uint(1); mask < 1<<n; mask++ {
+		size := bits.OnesCount(mask)
+		if size <= k {
+			continue
+		}
+		vs := verticesOf(mask, n)
+		sub := g.InducedSubgraph(vs)
+		if sub.IsConnected() && VertexConnectivityBrute(sub) >= k {
+			cands = append(cands, candidate{mask, size})
+		}
+	}
+	var out [][]int64
+	for _, c := range cands {
+		maximal := true
+		for _, d := range cands {
+			if d.mask != c.mask && d.mask&c.mask == c.mask {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			labels := make([]int64, 0, c.size)
+			for _, v := range verticesOf(c.mask, n) {
+				labels = append(labels, g.Label(v))
+			}
+			out = append(out, labels)
+		}
+	}
+	return out
+}
+
+// KECCBrute enumerates all k-ECCs of g by subset search: a vertex subset
+// qualifies if it has at least two vertices and its induced subgraph has
+// edge connectivity >= k; maximal qualifying subsets are returned as
+// sorted label slices.
+func KECCBrute(g *graph.Graph, k int) [][]int64 {
+	n := g.NumVertices()
+	type candidate struct {
+		mask uint
+		size int
+	}
+	var cands []candidate
+	for mask := uint(1); mask < 1<<n; mask++ {
+		size := bits.OnesCount(mask)
+		if size < 2 {
+			continue
+		}
+		sub := g.InducedSubgraph(verticesOf(mask, n))
+		if EdgeConnectivityBrute(sub) >= k {
+			cands = append(cands, candidate{mask, size})
+		}
+	}
+	var out [][]int64
+	for _, c := range cands {
+		maximal := true
+		for _, d := range cands {
+			if d.mask != c.mask && d.mask&c.mask == c.mask {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			labels := make([]int64, 0, c.size)
+			for _, v := range verticesOf(c.mask, n) {
+				labels = append(labels, g.Label(v))
+			}
+			out = append(out, labels)
+		}
+	}
+	return out
+}
+
+// EdgeConnectivityBrute returns the global edge connectivity λ(G): the
+// minimum number of edges crossing any proper vertex bipartition. Returns 0
+// for disconnected or trivial graphs.
+func EdgeConnectivityBrute(g *graph.Graph) int {
+	n := g.NumVertices()
+	if n <= 1 || !g.IsConnected() {
+		return 0
+	}
+	best := g.NumEdges()
+	// Fix vertex 0 on one side; enumerate the rest.
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		if mask == (1<<(n-1))-1 {
+			continue // all vertices on side A: not a proper bipartition
+		}
+		crossing := 0
+		sideA := func(v int) bool { return v == 0 || mask&(1<<(v-1)) != 0 }
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				if u < v && sideA(u) != sideA(v) {
+					crossing++
+				}
+			}
+		}
+		if crossing < best {
+			best = crossing
+		}
+	}
+	return best
+}
+
+func verticesOf(mask uint, n int) []int {
+	vs := make([]int, 0, bits.OnesCount(mask))
+	for v := 0; v < n; v++ {
+		if mask&(1<<v) != 0 {
+			vs = append(vs, v)
+		}
+	}
+	return vs
+}
+
+func sameComponentAvoiding(g *graph.Graph, u, v int, avoid map[int]bool) bool {
+	if avoid[u] || avoid[v] {
+		return false
+	}
+	seen := make([]bool, g.NumVertices())
+	seen[u] = true
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == v {
+			return true
+		}
+		for _, w := range g.Neighbors(x) {
+			if !seen[w] && !avoid[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package verify
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"kvcc/graph"
+)
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func cycle(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// The oracles themselves are validated on graphs with textbook answers.
+
+func TestVertexConnectivityBruteKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"K4", complete(4), 3},
+		{"C5", cycle(5), 2},
+		{"path3", graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}}), 1},
+		{"disconnected", graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}}), 0},
+		{"single", graph.FromEdges(1, nil), 0},
+	}
+	for _, tc := range cases {
+		if got := VertexConnectivityBrute(tc.g); got != tc.want {
+			t.Errorf("%s: κ = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestLocalConnectivityBruteKnown(t *testing.T) {
+	c6 := cycle(6)
+	if got := LocalConnectivityBrute(c6, 0, 3); got != 2 {
+		t.Errorf("C6 κ(0,3) = %d, want 2", got)
+	}
+	if got := LocalConnectivityBrute(c6, 0, 1); got != 6 {
+		t.Errorf("adjacent pair should be n, got %d", got)
+	}
+	// Two triangles joined at one vertex: κ(0,4) = 1 through the hinge.
+	bowtie := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}})
+	if got := LocalConnectivityBrute(bowtie, 0, 4); got != 1 {
+		t.Errorf("bowtie κ(0,4) = %d, want 1", got)
+	}
+}
+
+func TestIsKConnectedBrute(t *testing.T) {
+	if !IsKConnectedBrute(complete(5), 4) {
+		t.Error("K5 is 4-connected")
+	}
+	if IsKConnectedBrute(complete(5), 5) {
+		t.Error("K5 is not 5-connected (needs > 5 vertices)")
+	}
+	if IsKConnectedBrute(cycle(4), 3) {
+		t.Error("C4 is not 3-connected")
+	}
+}
+
+func TestKVCCBruteKnown(t *testing.T) {
+	// Two K4s sharing one vertex: with k=2 the whole graph is one 2-VCC
+	// minus... the shared vertex is a cut vertex, so each K4 is a 2-VCC.
+	var edges [][2]int
+	for _, c := range [][]int{{0, 1, 2, 3}, {3, 4, 5, 6}} {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				edges = append(edges, [2]int{c[i], c[j]})
+			}
+		}
+	}
+	g := graph.FromEdges(7, edges)
+	got := KVCCBrute(g, 2)
+	for _, s := range got {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i][0] < got[j][0] })
+	want := [][]int64{{0, 1, 2, 3}, {3, 4, 5, 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("2-VCCs = %v, want %v", got, want)
+	}
+	// k=3: each K4 alone (and they share < 3 vertices).
+	if got := KVCCBrute(g, 3); len(got) != 2 {
+		t.Fatalf("3-VCCs = %v", got)
+	}
+	// k=4: nothing has > 4 vertices with κ >= 4.
+	if got := KVCCBrute(g, 4); len(got) != 0 {
+		t.Fatalf("4-VCCs = %v", got)
+	}
+}
+
+func TestEdgeConnectivityBruteKnown(t *testing.T) {
+	if got := EdgeConnectivityBrute(complete(4)); got != 3 {
+		t.Errorf("λ(K4) = %d, want 3", got)
+	}
+	if got := EdgeConnectivityBrute(cycle(5)); got != 2 {
+		t.Errorf("λ(C5) = %d, want 2", got)
+	}
+	if got := EdgeConnectivityBrute(graph.FromEdges(2, nil)); got != 0 {
+		t.Errorf("λ(disconnected) = %d, want 0", got)
+	}
+}
+
+func TestKECCBruteKnown(t *testing.T) {
+	// Two triangles joined by one edge: each triangle is a 2-ECC.
+	g := graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+		{2, 3},
+	})
+	got := KECCBrute(g, 2)
+	if len(got) != 2 {
+		t.Fatalf("2-ECCs = %v, want two triangles", got)
+	}
+}

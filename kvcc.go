@@ -1,0 +1,173 @@
+package kvcc
+
+import (
+	"context"
+	"sort"
+
+	"kvcc/graph"
+	"kvcc/internal/core"
+	"kvcc/internal/kcore"
+	"kvcc/internal/kecc"
+)
+
+// Algorithm selects one of the paper's four enumeration variants.
+type Algorithm = core.Algorithm
+
+// Algorithm variants (Section 6.2 of the paper).
+const (
+	// VCCE is the basic cut-based algorithm (Algorithm 2).
+	VCCE = core.VCCE
+	// VCCEN adds neighbor sweep (Section 5.1).
+	VCCEN = core.VCCEN
+	// VCCEG adds group sweep (Section 5.2).
+	VCCEG = core.VCCEG
+	// VCCEStar enables both sweeps (GLOBAL-CUT*, Algorithm 3). Default.
+	VCCEStar = core.VCCEStar
+)
+
+// Stats reports the work performed during one enumeration.
+type Stats = core.Stats
+
+// Option configures Enumerate.
+type Option func(*core.Options)
+
+// WithAlgorithm selects the enumeration variant (default VCCEStar).
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *core.Options) { o.Algorithm = a }
+}
+
+// WithParallelism processes independent partitioned subgraphs with the
+// given number of workers (default 1: deterministic serial execution; the
+// result set is identical either way).
+func WithParallelism(workers int) Option {
+	return func(o *core.Options) { o.Parallelism = workers }
+}
+
+// WithSSVDegreeCap skips the strong side-vertex test for vertices whose
+// degree exceeds the cap. This bounds the quadratic neighborhood test on
+// hub vertices and is a sound under-approximation (less pruning, same
+// result). 0 disables the cap.
+func WithSSVDegreeCap(cap int) Option {
+	return func(o *core.Options) { o.SSVDegreeCap = cap }
+}
+
+// Result is the output of Enumerate.
+type Result struct {
+	// K is the connectivity parameter the enumeration ran with.
+	K int
+	// Components are the k-VCCs, largest first. Vertex labels refer to the
+	// input graph; overlapping components repeat labels.
+	Components []*graph.Graph
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// Enumerate computes all k-vertex connected components of g.
+func Enumerate(g *graph.Graph, k int, opts ...Option) (*Result, error) {
+	return EnumerateContext(context.Background(), g, k, opts...)
+}
+
+// EnumerateContext is Enumerate with cancellation: the recursion checks
+// ctx between partition steps and returns ctx.Err() once it is done.
+func EnumerateContext(ctx context.Context, g *graph.Graph, k int, opts ...Option) (*Result, error) {
+	options := core.Options{Algorithm: core.VCCEStar}
+	for _, opt := range opts {
+		opt(&options)
+	}
+	comps, stats, err := core.EnumerateContext(ctx, g, k, options)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{K: k, Components: comps, Stats: *stats}, nil
+}
+
+// ComponentsContaining returns the indices of the components that contain
+// the vertex with the given label. By Theorem 6 a vertex belongs to fewer
+// than n/2 components; in practice overlap is below k per pair
+// (Property 1).
+func (r *Result) ComponentsContaining(label int64) []int {
+	var out []int
+	for i, c := range r.Components {
+		for _, l := range c.Labels() {
+			if l == label {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// OverlapMatrix returns the pairwise overlap sizes between components.
+// Property 1 guarantees every off-diagonal entry is below k.
+func (r *Result) OverlapMatrix() [][]int {
+	n := len(r.Components)
+	sets := make([]map[int64]bool, n)
+	for i, c := range r.Components {
+		sets[i] = make(map[int64]bool, c.NumVertices())
+		for _, l := range c.Labels() {
+			sets[i][l] = true
+		}
+	}
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		m[i][i] = len(sets[i])
+		for j := 0; j < i; j++ {
+			shared := 0
+			for l := range sets[j] {
+				if sets[i][l] {
+					shared++
+				}
+			}
+			m[i][j] = shared
+			m[j][i] = shared
+		}
+	}
+	return m
+}
+
+// VertexLabels returns the union of all component vertex labels, sorted.
+func (r *Result) VertexLabels() []int64 {
+	set := map[int64]bool{}
+	for _, c := range r.Components {
+		for _, l := range c.Labels() {
+			set[l] = true
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KCore returns the subgraph induced by all vertices of core number >= k
+// (the union of the k-cores of g).
+func KCore(g *graph.Graph, k int) *graph.Graph {
+	reduced, _ := kcore.Reduce(g, k)
+	return reduced
+}
+
+// KCoreComponents returns the connected components of the k-core, the
+// "k-CC" baseline of the paper's effectiveness figures.
+func KCoreComponents(g *graph.Graph, k int) []*graph.Graph {
+	return kcore.Components(g, k)
+}
+
+// CoreNumbers returns the core number of every vertex of g.
+func CoreNumbers(g *graph.Graph) []int {
+	return kcore.CoreNumbers(g)
+}
+
+// KECC returns all k-edge connected components of g, the comparison model
+// used in the paper's effectiveness evaluation.
+func KECC(g *graph.Graph, k int) []*graph.Graph {
+	return kecc.Enumerate(g, k)
+}
+
+// EdgeConnectivity returns λ(g), the global edge connectivity.
+func EdgeConnectivity(g *graph.Graph) int {
+	return kecc.EdgeConnectivity(g)
+}

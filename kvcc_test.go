@@ -1,0 +1,315 @@
+package kvcc_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"kvcc"
+	"kvcc/gen"
+	"kvcc/graph"
+)
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func plantedTestGraph() (*graph.Graph, [][]int64) {
+	g, comms := gen.Planted(gen.PlantedConfig{
+		Communities: 8, MinSize: 12, MaxSize: 18, IntraProb: 0.85,
+		ChainOverlap: 2, ChainEvery: 3, BridgeEdges: 6,
+		NoiseVertices: 100, NoiseDegree: 2, Seed: 31,
+	})
+	return g, comms
+}
+
+func TestEnumerateDefault(t *testing.T) {
+	g, _ := plantedTestGraph()
+	res, err := kvcc.Enumerate(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 6 {
+		t.Fatalf("K = %d", res.K)
+	}
+	if len(res.Components) == 0 {
+		t.Fatal("expected components on a planted graph")
+	}
+	// Largest first.
+	for i := 1; i < len(res.Components); i++ {
+		if res.Components[i].NumVertices() > res.Components[i-1].NumVertices() {
+			t.Fatal("components not sorted largest-first")
+		}
+	}
+}
+
+func TestEnumerateOptionVariantsAgree(t *testing.T) {
+	g, _ := plantedTestGraph()
+	var base []string
+	for _, algo := range []kvcc.Algorithm{kvcc.VCCE, kvcc.VCCEN, kvcc.VCCEG, kvcc.VCCEStar} {
+		res, err := kvcc.Enumerate(g, 6, kvcc.WithAlgorithm(algo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var repr []string
+		for _, c := range res.Components {
+			labels := append([]int64(nil), c.Labels()...)
+			sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+			repr = append(repr, intsToString(labels))
+		}
+		sort.Strings(repr)
+		if base == nil {
+			base = repr
+			continue
+		}
+		if len(base) != len(repr) {
+			t.Fatalf("%v: %d components, want %d", algo, len(repr), len(base))
+		}
+		for i := range base {
+			if base[i] != repr[i] {
+				t.Fatalf("%v: component %d differs", algo, i)
+			}
+		}
+	}
+}
+
+func intsToString(ls []int64) string {
+	out := ""
+	for _, l := range ls {
+		out += ","
+		out += string(rune('a' + l%26))
+		out += string(rune('0' + (l/26)%10))
+	}
+	return out
+}
+
+// The paper's containment hierarchy (Theorem 3): every k-VCC is inside
+// some k-ECC, and every k-ECC is inside the k-core.
+func TestNestingHierarchy(t *testing.T) {
+	g, _ := plantedTestGraph()
+	k := 6
+	res, err := kvcc.Enumerate(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eccs := kvcc.KECC(g, k)
+	coreLabels := map[int64]bool{}
+	for _, l := range kvcc.KCore(g, k).Labels() {
+		coreLabels[l] = true
+	}
+	eccSets := make([]map[int64]bool, len(eccs))
+	for i, e := range eccs {
+		eccSets[i] = map[int64]bool{}
+		for _, l := range e.Labels() {
+			eccSets[i][l] = true
+			if !coreLabels[l] {
+				t.Fatalf("k-ECC vertex %d outside the k-core", l)
+			}
+		}
+	}
+	for _, vcc := range res.Components {
+		found := false
+		for _, es := range eccSets {
+			inside := true
+			for _, l := range vcc.Labels() {
+				if !es[l] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatal("a k-VCC is not nested in any k-ECC")
+		}
+	}
+}
+
+func TestComponentsContainingAndOverlap(t *testing.T) {
+	// Two K6s sharing two vertices; k=4 separates them.
+	var edges [][2]int
+	c1 := []int{0, 1, 2, 3, 4, 5}
+	c2 := []int{4, 5, 6, 7, 8, 9}
+	for _, c := range [][]int{c1, c2} {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				edges = append(edges, [2]int{c[i], c[j]})
+			}
+		}
+	}
+	g := graph.FromEdges(10, edges)
+	res, err := kvcc.Enumerate(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != 2 {
+		t.Fatalf("components = %d, want 2", len(res.Components))
+	}
+	if got := res.ComponentsContaining(4); len(got) != 2 {
+		t.Fatalf("vertex 4 should be in both components, got %v", got)
+	}
+	if got := res.ComponentsContaining(0); len(got) != 1 {
+		t.Fatalf("vertex 0 should be in one component, got %v", got)
+	}
+	if got := res.ComponentsContaining(99); got != nil {
+		t.Fatalf("missing vertex should yield nil, got %v", got)
+	}
+	m := res.OverlapMatrix()
+	if m[0][1] != 2 || m[1][0] != 2 {
+		t.Fatalf("overlap = %d, want 2", m[0][1])
+	}
+	if m[0][0] != 6 || m[1][1] != 6 {
+		t.Fatalf("diagonal = %d,%d, want 6,6", m[0][0], m[1][1])
+	}
+	labels := res.VertexLabels()
+	if len(labels) != 10 {
+		t.Fatalf("vertex labels = %v", labels)
+	}
+}
+
+func TestVertexConnectivityFacade(t *testing.T) {
+	if got := kvcc.VertexConnectivity(complete(5)); got != 4 {
+		t.Fatalf("κ(K5) = %d", got)
+	}
+	cyc := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	if got := kvcc.VertexConnectivity(cyc); got != 2 {
+		t.Fatalf("κ(C5) = %d", got)
+	}
+	cut := kvcc.MinimumVertexCut(cyc)
+	if len(cut) != 2 {
+		t.Fatalf("min cut = %v", cut)
+	}
+	if kvcc.MinimumVertexCut(complete(4)) != nil {
+		t.Fatal("complete graph has no vertex cut")
+	}
+}
+
+func TestLocalConnectivityFacade(t *testing.T) {
+	cyc := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if got := kvcc.LocalConnectivity(cyc, 0, 3); got != 2 {
+		t.Fatalf("κ(0,3) = %d", got)
+	}
+	if got := kvcc.LocalConnectivity(cyc, 0, 1); got != 5 {
+		t.Fatalf("adjacent κ = %d, want n-1", got)
+	}
+	if got := kvcc.LocalConnectivity(graph.FromEdges(1, nil), 0, 0); got != 0 {
+		t.Fatalf("trivial κ = %d", got)
+	}
+}
+
+func TestIsKVertexConnected(t *testing.T) {
+	if !kvcc.IsKVertexConnected(complete(5), 4) {
+		t.Fatal("K5 is 4-connected")
+	}
+	if kvcc.IsKVertexConnected(complete(5), 5) {
+		t.Fatal("K5 is not 5-connected (needs > 5 vertices)")
+	}
+	if !kvcc.IsKVertexConnected(complete(5), 0) {
+		t.Fatal("connected graph is 0-connected")
+	}
+	disconnected := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if kvcc.IsKVertexConnected(disconnected, 1) {
+		t.Fatal("disconnected graph is not 1-connected")
+	}
+}
+
+func TestEnumerateParallelOption(t *testing.T) {
+	g, _ := plantedTestGraph()
+	serial, err := kvcc.Enumerate(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := kvcc.Enumerate(g, 6, kvcc.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Components) != len(par.Components) {
+		t.Fatalf("parallel found %d components, serial %d",
+			len(par.Components), len(serial.Components))
+	}
+	for i := range serial.Components {
+		if serial.Components[i].NumVertices() != par.Components[i].NumVertices() {
+			t.Fatal("canonical ordering differs between serial and parallel")
+		}
+	}
+}
+
+func TestEnumerateErrorPropagation(t *testing.T) {
+	if _, err := kvcc.Enumerate(nil, 3); err == nil {
+		t.Fatal("nil graph must error")
+	}
+	if _, err := kvcc.Enumerate(complete(3), 0); err == nil {
+		t.Fatal("k = 0 must error")
+	}
+}
+
+// Planted communities should be recovered as k-VCCs when k is inside the
+// community connectivity band.
+func TestPlantedCommunityRecovery(t *testing.T) {
+	g, comms := plantedTestGraph()
+	res, err := kvcc.Enumerate(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every planted community of size >= 10 should be mostly covered by
+	// one recovered component.
+	covered := 0
+	for _, comm := range comms {
+		if len(comm) < 10 {
+			continue
+		}
+		commSet := map[int64]bool{}
+		for _, l := range comm {
+			commSet[l] = true
+		}
+		for _, c := range res.Components {
+			inside := 0
+			for _, l := range c.Labels() {
+				if commSet[l] {
+					inside++
+				}
+			}
+			if float64(inside) >= 0.8*float64(len(comm)) {
+				covered++
+				break
+			}
+		}
+	}
+	if covered < len(comms)/2 {
+		t.Fatalf("only %d/%d planted communities recovered", covered, len(comms))
+	}
+}
+
+func TestEnumerateContextCancellation(t *testing.T) {
+	g, _ := plantedTestGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before starting
+	if _, err := kvcc.EnumerateContext(ctx, g, 5); err == nil {
+		t.Fatal("cancelled context must abort enumeration")
+	}
+	// A live context behaves like Enumerate.
+	res, err := kvcc.EnumerateContext(context.Background(), g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := kvcc.Enumerate(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != len(direct.Components) {
+		t.Fatal("context and plain enumeration differ")
+	}
+	// Cancellation also aborts the parallel driver.
+	if _, err := kvcc.EnumerateContext(ctx, g, 5, kvcc.WithParallelism(4)); err == nil {
+		t.Fatal("cancelled context must abort parallel enumeration")
+	}
+}

@@ -1,0 +1,188 @@
+// Package metrics computes the subgraph quality measures used in the
+// paper's effectiveness evaluation (Section 6.1): diameter (Eq. 1), edge
+// density (Eq. 4), and clustering coefficient (Eqs. 5-6).
+package metrics
+
+import "kvcc/graph"
+
+// Diameter returns the longest shortest path between any pair of vertices
+// (Eq. 1), computed exactly with a BFS from every vertex. Disconnected or
+// empty graphs return -1; a single vertex returns 0.
+func Diameter(g *graph.Graph) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return -1
+	}
+	diam := 0
+	for v := 0; v < n; v++ {
+		reached := 0
+		for _, d := range g.BFSDistances(v) {
+			if d < 0 {
+				return -1 // disconnected
+			}
+			reached++
+			if d > diam {
+				diam = d
+			}
+		}
+		if reached != n {
+			return -1
+		}
+	}
+	return diam
+}
+
+// EdgeDensity returns 2m / (n(n-1)) (Eq. 4): the fraction of possible
+// edges present. Graphs with fewer than two vertices have density 0.
+func EdgeDensity(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	if n < 2 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / (float64(n) * float64(n-1))
+}
+
+// LocalClustering returns c(u) (Eq. 5): the fraction of pairs of u's
+// neighbors that are themselves adjacent. Vertices of degree < 2 have
+// local clustering 0.
+func LocalClustering(g *graph.Graph, u int) float64 {
+	nbrs := g.Neighbors(u)
+	d := len(nbrs)
+	if d < 2 {
+		return 0
+	}
+	triangles := 0
+	for i := 0; i < d; i++ {
+		// Count neighbors of nbrs[i] that are also neighbors of u and
+		// come after nbrs[i]; sorted adjacency makes this a merge.
+		triangles += countAdjacentAfter(g, nbrs, i)
+	}
+	return float64(triangles) / (float64(d) * float64(d-1) / 2)
+}
+
+func countAdjacentAfter(g *graph.Graph, nbrs []int, i int) int {
+	a := g.Neighbors(nbrs[i])
+	b := nbrs[i+1:]
+	count, x, y := 0, 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			x++
+		case a[x] > b[y]:
+			y++
+		default:
+			count++
+			x++
+			y++
+		}
+	}
+	return count
+}
+
+// ClusteringCoefficient returns C(G) (Eq. 6): the average local
+// clustering coefficient over all vertices.
+func ClusteringCoefficient(g *graph.Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v := 0; v < n; v++ {
+		sum += LocalClustering(g, v)
+	}
+	return sum / float64(n)
+}
+
+// TriangleCount returns the total number of triangles in g.
+func TriangleCount(g *graph.Graph) int {
+	total := 0
+	for u := 0; u < g.NumVertices(); u++ {
+		nbrs := g.Neighbors(u)
+		for i, v := range nbrs {
+			if v < u {
+				continue
+			}
+			// Count w > v adjacent to both u and v.
+			_ = i
+			total += countCommonAfter(g, u, v)
+		}
+	}
+	return total
+}
+
+func countCommonAfter(g *graph.Graph, u, v int) int {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	count, x, y := 0, 0, 0
+	for x < len(a) && y < len(b) {
+		switch {
+		case a[x] < b[y]:
+			x++
+		case a[x] > b[y]:
+			y++
+		default:
+			if a[x] > v {
+				count++
+			}
+			x++
+			y++
+		}
+	}
+	return count
+}
+
+// Summary bundles the three quality measures of one subgraph.
+type Summary struct {
+	Vertices   int
+	Edges      int
+	Diameter   int
+	Density    float64
+	Clustering float64
+}
+
+// Summarize computes all measures for one graph.
+func Summarize(g *graph.Graph) Summary {
+	return Summary{
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		Diameter:   Diameter(g),
+		Density:    EdgeDensity(g),
+		Clustering: ClusteringCoefficient(g),
+	}
+}
+
+// Averages holds per-component averages over a set of subgraphs, as
+// plotted in Figs. 7-9.
+type Averages struct {
+	Count         int
+	AvgDiameter   float64
+	AvgDensity    float64
+	AvgClustering float64
+	AvgSize       float64
+}
+
+// Average computes the mean quality measures over a component set.
+// Components that are disconnected (diameter -1, which cannot happen for
+// k-VCC/k-ECC/k-core outputs) are skipped in the diameter average.
+func Average(comps []*graph.Graph) Averages {
+	a := Averages{Count: len(comps)}
+	if len(comps) == 0 {
+		return a
+	}
+	diamCount := 0
+	for _, c := range comps {
+		if d := Diameter(c); d >= 0 {
+			a.AvgDiameter += float64(d)
+			diamCount++
+		}
+		a.AvgDensity += EdgeDensity(c)
+		a.AvgClustering += ClusteringCoefficient(c)
+		a.AvgSize += float64(c.NumVertices())
+	}
+	if diamCount > 0 {
+		a.AvgDiameter /= float64(diamCount)
+	}
+	a.AvgDensity /= float64(len(comps))
+	a.AvgClustering /= float64(len(comps))
+	a.AvgSize /= float64(len(comps))
+	return a
+}

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kvcc/graph"
+)
+
+func complete(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func cycle(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % n})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func path(n int) *graph.Graph {
+	var edges [][2]int
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path5", path(5), 4},
+		{"cycle6", cycle(6), 3},
+		{"cycle7", cycle(7), 3},
+		{"K4", complete(4), 1},
+		{"single", graph.FromEdges(1, nil), 0},
+		{"empty", graph.FromEdges(0, nil), -1},
+		{"disconnected", graph.FromEdges(3, [][2]int{{0, 1}}), -1},
+	}
+	for _, tc := range cases {
+		if got := Diameter(tc.g); got != tc.want {
+			t.Errorf("%s: diameter = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEdgeDensity(t *testing.T) {
+	if d := EdgeDensity(complete(5)); !almostEqual(d, 1.0) {
+		t.Errorf("K5 density = %v", d)
+	}
+	if d := EdgeDensity(cycle(4)); !almostEqual(d, 4.0/6.0) {
+		t.Errorf("C4 density = %v", d)
+	}
+	if d := EdgeDensity(graph.FromEdges(1, nil)); d != 0 {
+		t.Errorf("single vertex density = %v", d)
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	// Triangle with a pendant on vertex 0.
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	if c := LocalClustering(g, 1); !almostEqual(c, 1.0) {
+		t.Errorf("c(1) = %v, want 1", c)
+	}
+	// Vertex 0 has neighbors {1,2,3}; only (1,2) adjacent of 3 pairs.
+	if c := LocalClustering(g, 0); !almostEqual(c, 1.0/3.0) {
+		t.Errorf("c(0) = %v, want 1/3", c)
+	}
+	if c := LocalClustering(g, 3); c != 0 {
+		t.Errorf("pendant clustering = %v", c)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	if c := ClusteringCoefficient(complete(6)); !almostEqual(c, 1.0) {
+		t.Errorf("K6 clustering = %v", c)
+	}
+	if c := ClusteringCoefficient(cycle(5)); c != 0 {
+		t.Errorf("C5 clustering = %v", c)
+	}
+	if c := ClusteringCoefficient(graph.FromEdges(0, nil)); c != 0 {
+		t.Errorf("empty clustering = %v", c)
+	}
+}
+
+func TestTriangleCount(t *testing.T) {
+	if n := TriangleCount(complete(5)); n != 10 {
+		t.Errorf("K5 triangles = %d, want 10", n)
+	}
+	if n := TriangleCount(cycle(6)); n != 0 {
+		t.Errorf("C6 triangles = %d, want 0", n)
+	}
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	if n := TriangleCount(g); n != 1 {
+		t.Errorf("triangle+pendant = %d, want 1", n)
+	}
+}
+
+// Cross-check: sum of local clustering numerators equals 3 * triangles.
+func TestClusteringTriangleConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var edges [][2]int
+	n := 30
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.2 {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	g := graph.FromEdges(n, edges)
+	sumTri := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		if d < 2 {
+			continue
+		}
+		sumTri += int(math.Round(LocalClustering(g, v) * float64(d) * float64(d-1) / 2))
+	}
+	if sumTri != 3*TriangleCount(g) {
+		t.Fatalf("local numerators %d != 3*triangles %d", sumTri, 3*TriangleCount(g))
+	}
+}
+
+func TestDiameterBoundTheorem2(t *testing.T) {
+	// Theorem 2: diam <= floor((n-2)/κ) + 1 for a κ-connected graph.
+	// For the cycle (κ=2): diam(C_n) = floor(n/2) <= floor((n-2)/2)+1. Tight.
+	for n := 4; n <= 12; n++ {
+		g := cycle(n)
+		bound := (n-2)/2 + 1
+		if d := Diameter(g); d > bound {
+			t.Fatalf("C%d: diameter %d exceeds Theorem 2 bound %d", n, d, bound)
+		}
+	}
+}
+
+func TestSummarizeAndAverage(t *testing.T) {
+	s := Summarize(complete(4))
+	if s.Vertices != 4 || s.Edges != 6 || s.Diameter != 1 ||
+		!almostEqual(s.Density, 1) || !almostEqual(s.Clustering, 1) {
+		t.Fatalf("K4 summary = %+v", s)
+	}
+	avg := Average([]*graph.Graph{complete(4), cycle(4)})
+	if avg.Count != 2 {
+		t.Fatalf("count = %d", avg.Count)
+	}
+	if !almostEqual(avg.AvgDiameter, 1.5) { // (1 + 2) / 2
+		t.Fatalf("avg diameter = %v", avg.AvgDiameter)
+	}
+	if !almostEqual(avg.AvgDensity, (1.0+4.0/6.0)/2) {
+		t.Fatalf("avg density = %v", avg.AvgDensity)
+	}
+	if !almostEqual(avg.AvgSize, 4) {
+		t.Fatalf("avg size = %v", avg.AvgSize)
+	}
+	empty := Average(nil)
+	if empty.Count != 0 || empty.AvgDiameter != 0 {
+		t.Fatalf("empty average = %+v", empty)
+	}
+}

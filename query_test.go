@@ -1,0 +1,128 @@
+package kvcc_test
+
+import (
+	"sort"
+	"testing"
+
+	"kvcc"
+	"kvcc/gen"
+	"kvcc/graph"
+)
+
+func TestEnumerateContaining(t *testing.T) {
+	// Three disjoint K5s plus noise: query a vertex of the second clique.
+	var edges [][2]int
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				edges = append(edges, [2]int{c*5 + i, c*5 + j})
+			}
+		}
+	}
+	edges = append(edges, [2]int{4, 5}, [2]int{9, 10}) // weak chain links
+	g := graph.FromEdges(15, edges)
+
+	res, err := kvcc.EnumerateContaining(g, 3, []int64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != 1 {
+		t.Fatalf("components = %d, want 1", len(res.Components))
+	}
+	labels := append([]int64(nil), res.Components[0].Labels()...)
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	want := []int64{5, 6, 7, 8, 9}
+	for i, l := range labels {
+		if l != want[i] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestEnumerateContainingMatchesFull(t *testing.T) {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 6, MinSize: 10, MaxSize: 14, IntraProb: 0.85,
+		ChainOverlap: 2, ChainEvery: 3, BridgeEdges: 4,
+		NoiseVertices: 80, NoiseDegree: 2, Seed: 55,
+	})
+	full, err := kvcc.Enumerate(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Components) == 0 {
+		t.Skip("no components at this k")
+	}
+	// Query the first vertex of the largest component: local enumeration
+	// must find exactly the full enumeration's components holding it.
+	target := full.Components[0].Label(0)
+	wantIdx := full.ComponentsContaining(target)
+
+	local, err := kvcc.EnumerateContaining(g, 5, []int64{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local.Components) != len(wantIdx) {
+		t.Fatalf("local found %d components, full enumeration has %d containing %d",
+			len(local.Components), len(wantIdx), target)
+	}
+	for _, c := range local.Components {
+		found := false
+		for _, l := range c.Labels() {
+			if l == target {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("local result does not contain the queried label")
+		}
+	}
+}
+
+func TestEnumerateContainingAbsentLabel(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}})
+	res, err := kvcc.EnumerateContaining(g, 2, []int64{999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != 0 {
+		t.Fatalf("absent label should yield no components, got %d", len(res.Components))
+	}
+}
+
+func TestOverlapGraph(t *testing.T) {
+	// Chain of three K6s, consecutive pairs sharing 2 vertices: the
+	// overlap graph at k=4 is a path of three meta-vertices.
+	var edges [][2]int
+	blocks := [][]int{
+		{0, 1, 2, 3, 4, 5},
+		{4, 5, 6, 7, 8, 9},
+		{8, 9, 10, 11, 12, 13},
+	}
+	for _, c := range blocks {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				edges = append(edges, [2]int{c[i], c[j]})
+			}
+		}
+	}
+	g := graph.FromEdges(14, edges)
+	res, err := kvcc.Enumerate(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != 3 {
+		t.Fatalf("components = %d, want 3", len(res.Components))
+	}
+	og := res.OverlapGraph()
+	if og.NumVertices() != 3 {
+		t.Fatalf("overlap graph n = %d", og.NumVertices())
+	}
+	if og.NumEdges() != 2 {
+		t.Fatalf("overlap graph m = %d, want 2 (a path)", og.NumEdges())
+	}
+	degrees := []int{og.Degree(0), og.Degree(1), og.Degree(2)}
+	sort.Ints(degrees)
+	if degrees[0] != 1 || degrees[2] != 2 {
+		t.Fatalf("overlap graph degrees = %v, want path shape", degrees)
+	}
+}

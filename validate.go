@@ -1,0 +1,94 @@
+package kvcc
+
+import (
+	"fmt"
+
+	"kvcc/graph"
+	"kvcc/internal/flow"
+)
+
+// Validate checks a Result against the input graph and the paper's
+// structural guarantees, returning the first violation found (nil if the
+// result is consistent). It is intended for downstream users who want a
+// defense-in-depth check after enumeration, and for tests; the cost is a
+// connectivity verification per component plus pairwise overlap counting.
+//
+// Checked properties:
+//
+//   - every component has more than k vertices (Definition 2),
+//   - every component is an induced, k-vertex connected subgraph of g,
+//   - components are pairwise distinct with overlap < k (Property 1,
+//     Lemma 3),
+//   - the number of components is below n/2 (Theorem 6).
+func Validate(g *graph.Graph, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("kvcc: nil result")
+	}
+	k := res.K
+	if k < 1 {
+		return fmt.Errorf("kvcc: result has invalid k = %d", k)
+	}
+	if int64(len(res.Components)) > int64(g.NumVertices())/2 {
+		return fmt.Errorf("kvcc: %d components exceeds the n/2 bound (Theorem 6)", len(res.Components))
+	}
+	idx := g.LabelIndex()
+	sets := make([]map[int64]bool, len(res.Components))
+	for ci, c := range res.Components {
+		if c.NumVertices() <= k {
+			return fmt.Errorf("kvcc: component %d has %d <= k vertices", ci, c.NumVertices())
+		}
+		sets[ci] = make(map[int64]bool, c.NumVertices())
+		// Induced subgraph check: labels exist in g, component edges exist
+		// in g, and no g-edge between component vertices is missing.
+		orig := make([]int, c.NumVertices())
+		for v := 0; v < c.NumVertices(); v++ {
+			l := c.Label(v)
+			if sets[ci][l] {
+				return fmt.Errorf("kvcc: component %d repeats label %d", ci, l)
+			}
+			sets[ci][l] = true
+			ov, ok := idx[l]
+			if !ok {
+				return fmt.Errorf("kvcc: component %d has label %d absent from the input", ci, l)
+			}
+			orig[v] = ov
+		}
+		for u := 0; u < c.NumVertices(); u++ {
+			for _, v := range c.Neighbors(u) {
+				if u < v && !g.HasEdge(orig[u], orig[v]) {
+					return fmt.Errorf("kvcc: component %d edge (%d,%d) not in the input",
+						ci, c.Label(u), c.Label(v))
+				}
+			}
+		}
+		for i := 0; i < len(orig); i++ {
+			for j := i + 1; j < len(orig); j++ {
+				if g.HasEdge(orig[i], orig[j]) && !c.HasEdge(i, j) {
+					return fmt.Errorf("kvcc: component %d misses induced edge (%d,%d)",
+						ci, c.Label(i), c.Label(j))
+				}
+			}
+		}
+		if kappa, _ := flow.GlobalVertexConnectivity(c, k); kappa < k {
+			return fmt.Errorf("kvcc: component %d has connectivity %d < k", ci, kappa)
+		}
+	}
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			shared := 0
+			for l := range sets[j] {
+				if sets[i][l] {
+					shared++
+				}
+			}
+			if shared >= k {
+				return fmt.Errorf("kvcc: components %d and %d overlap in %d >= k vertices (Property 1)",
+					i, j, shared)
+			}
+			if shared == len(sets[i]) || shared == len(sets[j]) {
+				return fmt.Errorf("kvcc: components %d and %d are nested (Lemma 3)", i, j)
+			}
+		}
+	}
+	return nil
+}
