@@ -1,0 +1,223 @@
+// Command kvccd is the long-running k-VCC enumeration service. It loads
+// one or more named edge-list graphs, serves the HTTP/JSON query API from
+// the server package, and amortizes enumeration cost across queries with
+// an LRU result cache plus in-flight request deduplication.
+//
+// Usage:
+//
+//	kvccd -graph social=social.txt -graph web=web.txt [-addr :7474]
+//	      [-cache 64] [-max-k 0] [-parallel 1]
+//	      [-request-timeout 30s] [-compute-timeout 5m] [-demo] [-selftest]
+//
+// -graph name=path registers an edge list under a query name and may be
+// repeated. -demo registers a small generated community graph under the
+// name "demo" so the server can be tried without any dataset. -selftest
+// starts the server on an ephemeral port, drives every endpoint through
+// the Go client (verifying that a repeated query is a cache hit), prints
+// a transcript, and exits; it is both a smoke test and a usage example.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"kvcc/gen"
+	"kvcc/graph"
+	"kvcc/server"
+)
+
+// graphFlags collects repeated -graph name=path mappings.
+type graphFlags map[string]string
+
+func (g graphFlags) String() string {
+	parts := make([]string, 0, len(g))
+	for name, path := range g {
+		parts = append(parts, name+"="+path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g graphFlags) Set(value string) error {
+	name, path, ok := strings.Cut(value, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", value)
+	}
+	if _, dup := g[name]; dup {
+		return fmt.Errorf("graph %q registered twice", name)
+	}
+	g[name] = path
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kvccd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	graphs := graphFlags{}
+	fs.Var(graphs, "graph", "name=path of an edge list to serve (repeatable)")
+	var (
+		addr           = fs.String("addr", ":7474", "listen address")
+		cacheSize      = fs.Int("cache", 64, "result cache capacity (entries)")
+		maxK           = fs.Int("max-k", 0, "reject queries with k above this (0 = no limit)")
+		parallel       = fs.Int("parallel", 1, "enumeration worker count")
+		requestTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request wait ceiling")
+		computeTimeout = fs.Duration("compute-timeout", 5*time.Minute, "per-enumeration ceiling")
+		demo           = fs.Bool("demo", false, `also serve a generated community graph as "demo"`)
+		selftest       = fs.Bool("selftest", false, "start on an ephemeral port, exercise every endpoint, exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(graphs) == 0 && !*demo && !*selftest {
+		fmt.Fprintln(stderr, "kvccd: no graphs to serve; pass -graph name=path or -demo")
+		fs.Usage()
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		CacheSize:      *cacheSize,
+		MaxK:           *maxK,
+		Parallelism:    *parallel,
+		RequestTimeout: *requestTimeout,
+		ComputeTimeout: *computeTimeout,
+	})
+	for name, path := range graphs {
+		if err := srv.LoadGraphFile(name, path); err != nil {
+			fmt.Fprintln(stderr, "kvccd:", err)
+			return 1
+		}
+	}
+	if *demo || (*selftest && len(graphs) == 0) {
+		srv.AddGraph("demo", demoGraph())
+	}
+	for _, info := range srv.Graphs() {
+		fmt.Fprintf(stdout, "kvccd: serving %q: %d vertices, %d edges\n",
+			info.Name, info.Vertices, info.Edges)
+	}
+
+	if *selftest {
+		return runSelfTest(srv, stdout, stderr)
+	}
+
+	httpServer := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Bound header reads and idle keep-alives so slow or stalled
+		// clients cannot pin connections open; per-request work is
+		// bounded separately by the server's request timeout.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(stdout, "kvccd: listening on %s\n", *addr)
+	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(stderr, "kvccd:", err)
+		return 1
+	}
+	return 0
+}
+
+// demoGraph builds a deterministic planted-community graph: eight dense
+// blocks chained by sub-k overlaps plus background noise, the structure
+// k-VCC enumeration is designed to recover.
+func demoGraph() *graph.Graph {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities:   8,
+		MinSize:       12,
+		MaxSize:       20,
+		IntraProb:     0.7,
+		ChainOverlap:  2,
+		ChainEvery:    2,
+		BridgeEdges:   6,
+		NoiseVertices: 120,
+		NoiseDegree:   3,
+		Seed:          1,
+	})
+	return g
+}
+
+// runSelfTest drives every endpoint through the client against a live
+// listener and verifies the cache actually short-circuits repeat queries.
+func runSelfTest(srv *server.Server, stdout, stderr io.Writer) int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(stderr, "kvccd: selftest:", err)
+		return 1
+	}
+	httpServer := &http.Server{Handler: srv.Handler()}
+	go httpServer.Serve(ln)
+	defer httpServer.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	client := server.NewClient("http://" + ln.Addr().String())
+
+	fail := func(step string, err error) int {
+		fmt.Fprintf(stderr, "kvccd: selftest: %s: %v\n", step, err)
+		return 1
+	}
+
+	if err := client.Health(ctx); err != nil {
+		return fail("health", err)
+	}
+	infos, err := client.Graphs(ctx)
+	if err != nil || len(infos) == 0 {
+		return fail("graphs", err)
+	}
+	// k = 5 resolves the demo graph into its planted communities (k = 4
+	// still merges them across the sub-k chain overlaps).
+	name := infos[0].Name
+	const k = 5
+
+	first, err := client.Enumerate(ctx, server.EnumerateRequest{Graph: name, K: k, IncludeMetrics: true})
+	if err != nil {
+		return fail("enumerate", err)
+	}
+	fmt.Fprintf(stdout, "selftest: %d-VCCs of %q: %d components in %.1fms (cached=%v)\n",
+		k, name, len(first.Components), first.ElapsedMS, first.Cached)
+
+	second, err := client.Enumerate(ctx, server.EnumerateRequest{Graph: name, K: k})
+	if err != nil {
+		return fail("enumerate (repeat)", err)
+	}
+	if !second.Cached {
+		return fail("cache", fmt.Errorf("repeated query was not served from cache"))
+	}
+	fmt.Fprintf(stdout, "selftest: repeat query served from cache in %.3fms\n", second.ElapsedMS)
+
+	if len(first.Components) > 0 {
+		v := first.Components[0].Vertices[0]
+		containing, err := client.ComponentsContaining(ctx, server.ContainingRequest{Graph: name, K: k, Vertex: v})
+		if err != nil {
+			return fail("components-containing", err)
+		}
+		fmt.Fprintf(stdout, "selftest: vertex %d is in component(s) %v\n", v, containing.Indices)
+
+		overlap, err := client.Overlap(ctx, server.OverlapRequest{Graph: name, K: k})
+		if err != nil {
+			return fail("overlap", err)
+		}
+		fmt.Fprintf(stdout, "selftest: overlap matrix is %dx%d\n", len(overlap.Matrix), len(overlap.Matrix))
+	}
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return fail("stats", err)
+	}
+	if stats.Cache.Hits < 1 {
+		return fail("stats", fmt.Errorf("expected at least one cache hit, got %d", stats.Cache.Hits))
+	}
+	fmt.Fprintf(stdout, "selftest: cache hits=%d misses=%d, enumerations=%d (%.1fms total)\n",
+		stats.Cache.Hits, stats.Cache.Misses, stats.Enumerations.Started, stats.Enumerations.TotalMS)
+	fmt.Fprintln(stdout, "selftest: ok")
+	return 0
+}

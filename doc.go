@@ -3,10 +3,11 @@
 // Components in Large Graphs" by Wen, Qin, Lin, Zhang and Chang.
 //
 // A k-VCC is a maximal subgraph with more than k vertices that stays
-// connected after the removal of any k-1 vertices. Compared to k-cores and
-// k-edge connected components, k-VCCs eliminate the free-rider effect:
-// loosely attached dense regions that share fewer than k vertices are
-// reported as separate components, which may overlap in up to k-1 vertices.
+// connected after the removal of any k-1 vertices (Section 3,
+// Definition 1). Compared to k-cores and k-edge connected components,
+// k-VCCs eliminate the free-rider effect: loosely attached dense regions
+// that share fewer than k vertices are reported as separate components,
+// which may overlap in up to k-1 vertices (Property 1).
 //
 // # Quick start
 //
@@ -18,16 +19,44 @@
 //		fmt.Println(comp.NumVertices(), "vertices")
 //	}
 //
-// The enumeration runs KVCC-ENUM: recursive overlapped graph partition
-// driven by minimum vertex cuts, with k-core pruning, sparse certificates,
-// and the paper's neighbor-sweep and group-sweep optimizations
-// (GLOBAL-CUT*). Use Options to select the unoptimized variants the paper
-// benchmarks against (VCCE, VCCE-N, VCCE-G).
+// # The algorithm
+//
+// Enumerate runs KVCC-ENUM (Algorithm 1, Section 4): reduce the input to
+// its k-core, then recursively partition each connected component along a
+// qualified minimum vertex cut until every remaining subgraph is
+// k-connected. The partition is overlapped — the cut vertices are kept on
+// every side (Section 4.1) — which is what lets distinct k-VCCs share up
+// to k-1 vertices. Cut discovery is GLOBAL-CUT (Algorithm 2,
+// Section 4.2): sparse certificates bound each local connectivity test,
+// and repeated max-flow work is avoided by the paper's two sweep
+// strategies, neighbor sweep (Section 5.1: strong side-vertices and
+// vertex deposits) and group sweep (Section 5.2: side-groups and group
+// deposits). With both sweeps enabled the cut routine is GLOBAL-CUT*
+// (Algorithm 3), the default here.
+//
+// WithAlgorithm selects the variants the paper benchmarks in Section 6.2:
+// VCCE (no sweeps), VCCEN (neighbor sweep only), VCCEG (group sweep
+// only), and VCCEStar (both, the default). All four produce identical
+// component sets; they differ only in pruning work, reported in Stats.
+//
+// Beyond enumeration, the package answers the paper's query workloads:
+// EnumerateContaining restricts the search to components holding given
+// vertices (the Section 6.3 case-study question), VertexConnectivity /
+// MinimumVertexCut / LocalConnectivity expose the underlying connectivity
+// machinery (Section 2), and KCore / KECC provide the comparison models
+// of the effectiveness study (Section 6.1). Validate independently checks
+// a result against Definition 1.
 //
 // Sub-packages:
 //
-//   - graph: the graph data structure all algorithms operate on
+//   - graph: the immutable graph data structure all algorithms operate on
 //   - graphio: SNAP-style edge-list reading and writing
-//   - metrics: diameter, edge density, clustering coefficient
+//   - metrics: diameter, edge density, clustering coefficient (Eqs. 1-6)
 //   - gen: deterministic synthetic graph generators
+//   - hierarchy: the nesting tree of k-VCCs across all k
+//   - server: a long-running query service with result caching (kvccd)
+//
+// Binaries: cmd/kvcc (one-shot enumeration), cmd/kvccd (the serving
+// daemon), cmd/gengraph (dataset generation), cmd/experiments (the
+// paper's evaluation suite).
 package kvcc

@@ -1,0 +1,3 @@
+module kvcc
+
+go 1.24

@@ -1,18 +1,3 @@
-// Package graph provides the undirected simple-graph substrate used by all
-// k-VCC algorithms: compact adjacency-list storage, label tracking across
-// subgraph operations, traversals, and connected components.
-//
-// A Graph has vertices identified by contiguous ints 0..N-1. Every vertex
-// additionally carries an int64 label. Labels preserve vertex identity when
-// subgraphs are carved out of larger graphs (the overlapped partition at the
-// heart of KVCC-ENUM repeatedly induces subgraphs and duplicates cut
-// vertices; the label is the only stable name for a vertex).
-//
-// Invariants maintained by every constructor in this package:
-//   - adjacency lists are sorted ascending,
-//   - no self-loops,
-//   - no duplicate edges,
-//   - the graph is simple and undirected ((u,v) stored in both lists).
 package graph
 
 import (

@@ -1,0 +1,18 @@
+// Package graphio reads and writes graphs in the SNAP-style text
+// edge-list format used by the paper's datasets (Table 1): one "u<sep>v"
+// pair per line, '#' comments, blank lines ignored. Whitespace (spaces or
+// tabs) separates the endpoints. Self-loops and duplicate edges are
+// dropped during load, as the paper's preprocessing does, so every loaded
+// graph satisfies the graph package's simple-graph invariants.
+//
+// Reading: ReadEdgeList / ReadEdgeListFile parse into a graph.Graph whose
+// vertex labels are the original ids from the file; all results reported
+// by the kvcc package refer back to those labels.
+//
+// Writing: WriteEdgeList round-trips a graph (labels preserved),
+// WriteComponents emits an enumeration result as one labeled vertex set
+// per component, and WriteDOT renders small graphs for Graphviz.
+//
+// The kvccd server loads its named graphs through this package
+// (Server.LoadGraphFile), as do the kvcc and gengraph commands.
+package graphio

@@ -1,8 +1,3 @@
-// Package graphio reads and writes graphs in the SNAP-style text edge-list
-// format used by the paper's datasets: one "u<sep>v" pair per line, '#'
-// comments, blank lines ignored. Whitespace (spaces or tabs) separates the
-// endpoints. Self-loops and duplicate edges are dropped during load, as
-// the paper's preprocessing does.
 package graphio
 
 import (

@@ -1,0 +1,18 @@
+// Package hierarchy builds the structural cohesion hierarchy of a graph:
+// the nesting tree of k-VCCs for k = 1, 2, 3, ... (Moody & White's
+// hierarchical conception of social cohesion, reference [20] of the
+// paper). Level k of the tree holds exactly the k-VCCs of the graph; each
+// (k+1)-VCC is nested inside exactly one k-VCC, because two distinct
+// k-VCCs overlap in fewer than k vertices (Property 1, Section 3) while a
+// (k+1)-VCC has more than k+1 vertices.
+//
+// That same fact makes the construction efficient: level k+1 is computed
+// by enumerating (k+1)-VCCs inside each level-k component independently
+// (each call going through the same KVCC-ENUM pipeline as the kvcc
+// package), so the work shrinks as the hierarchy deepens. Build stops at
+// the first level with no components or at Options.MaxK.
+//
+// The resulting Tree answers the case-study questions of Section 6.3:
+// how cohesion nests, which vertices sit in the deepest cores, and how a
+// community decomposes as k grows.
+package hierarchy

@@ -1,14 +1,3 @@
-// Package hierarchy builds the structural cohesion hierarchy of a graph:
-// the nesting tree of k-VCCs for k = 1, 2, 3, ... (Moody & White's
-// hierarchical conception of social cohesion, reference [20] of the
-// paper). Level k of the tree holds exactly the k-VCCs of the graph; each
-// (k+1)-VCC is nested inside exactly one k-VCC, because two distinct
-// k-VCCs overlap in fewer than k vertices (Property 1) while a (k+1)-VCC
-// has more than k+1.
-//
-// That same fact makes the construction efficient: level k+1 is computed
-// by enumerating (k+1)-VCCs inside each level-k component independently,
-// so the work shrinks as the hierarchy deepens.
 package hierarchy
 
 import (

@@ -77,30 +77,31 @@ type Options struct {
 
 // Stats reports the work performed by one Enumerate call. Counters follow
 // the paper's measurements: sweep-rule attribution feeds Table 2, the
-// partition and memory counters feed Figs. 11-12.
+// partition and memory counters feed Figs. 11-12. The JSON tags define the
+// wire form used by the kvccd server's enumerate responses.
 type Stats struct {
-	GlobalCutCalls int64 // components examined for a cut
-	Partitions     int64 // overlapped partitions performed
-	KCorePeeled    int64 // vertices removed by k-core reduction
-	FlowRuns       int64 // max-flow computations (non-shortcut LOC-CUT)
-	LocCutTests    int64 // LOC-CUT invocations (phase 1 + phase 2)
+	GlobalCutCalls int64 `json:"global_cut_calls"` // components examined for a cut
+	Partitions     int64 `json:"partitions"`       // overlapped partitions performed
+	KCorePeeled    int64 `json:"kcore_peeled"`     // vertices removed by k-core reduction
+	FlowRuns       int64 `json:"flow_runs"`        // max-flow computations (non-shortcut LOC-CUT)
+	LocCutTests    int64 `json:"loc_cut_tests"`    // LOC-CUT invocations (phase 1 + phase 2)
 
 	// Phase-1 vertex attribution (Table 2). For every vertex visited in
 	// the phase-1 loop of GLOBAL-CUT*: either it was already swept by one
 	// of the rules, or its local connectivity was tested.
-	SweptNS1       int64 // neighbor sweep rule 1 (strong side-vertex)
-	SweptNS2       int64 // neighbor sweep rule 2 (vertex deposit)
-	SweptGS        int64 // group sweep (side-group rules)
-	TestedNonPrune int64 // vertices actually tested
+	SweptNS1       int64 `json:"swept_ns1"` // neighbor sweep rule 1 (strong side-vertex)
+	SweptNS2       int64 `json:"swept_ns2"` // neighbor sweep rule 2 (vertex deposit)
+	SweptGS        int64 `json:"swept_gs"`  // group sweep (side-group rules)
+	TestedNonPrune int64 `json:"tested"`    // vertices actually tested
 
-	Phase2Pairs   int64 // neighbor pairs tested in phase 2
-	Phase2Skipped int64 // pairs skipped by group sweep rule 3
+	Phase2Pairs   int64 `json:"phase2_pairs"`   // neighbor pairs tested in phase 2
+	Phase2Skipped int64 `json:"phase2_skipped"` // pairs skipped by group sweep rule 3
 
-	SSVDetected  int64 // strong side-vertices found by the pairwise test
-	SSVInherited int64 // SSVs carried across a partition (Lemmas 15-16)
+	SSVDetected  int64 `json:"ssv_detected"`  // strong side-vertices found by the pairwise test
+	SSVInherited int64 `json:"ssv_inherited"` // SSVs carried across a partition (Lemmas 15-16)
 
-	CutFallbacks int64 // defensive re-computations of an invalid cut (expect 0)
-	PeakBytes    int64 // peak structural bytes held by queued subgraphs + results
+	CutFallbacks int64 `json:"cut_fallbacks"` // defensive re-computations of an invalid cut (expect 0)
+	PeakBytes    int64 `json:"peak_bytes"`    // peak structural bytes held by queued subgraphs + results
 }
 
 // String summarizes the statistics in one line.

@@ -130,13 +130,14 @@ func countCommonAfter(g *graph.Graph, u, v int) int {
 	return count
 }
 
-// Summary bundles the three quality measures of one subgraph.
+// Summary bundles the three quality measures of one subgraph. The JSON
+// tags define the wire form used by the kvccd server's metrics option.
 type Summary struct {
-	Vertices   int
-	Edges      int
-	Diameter   int
-	Density    float64
-	Clustering float64
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	Diameter   int     `json:"diameter"`
+	Density    float64 `json:"density"`
+	Clustering float64 `json:"clustering"`
 }
 
 // Summarize computes all measures for one graph.
@@ -153,11 +154,11 @@ func Summarize(g *graph.Graph) Summary {
 // Averages holds per-component averages over a set of subgraphs, as
 // plotted in Figs. 7-9.
 type Averages struct {
-	Count         int
-	AvgDiameter   float64
-	AvgDensity    float64
-	AvgClustering float64
-	AvgSize       float64
+	Count         int     `json:"count"`
+	AvgDiameter   float64 `json:"avg_diameter"`
+	AvgDensity    float64 `json:"avg_density"`
+	AvgClustering float64 `json:"avg_clustering"`
+	AvgSize       float64 `json:"avg_size"`
 }
 
 // Average computes the mean quality measures over a component set.

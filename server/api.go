@@ -1,0 +1,181 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"kvcc"
+	"kvcc/graph"
+	"kvcc/metrics"
+)
+
+// The wire types below are shared by the HTTP handlers and the Go Client,
+// so a round trip through JSON is lossless by construction.
+
+// EnumerateRequest asks for all k-VCCs of a named graph.
+type EnumerateRequest struct {
+	// Graph names a graph loaded into the server.
+	Graph string `json:"graph"`
+	// K is the connectivity parameter (>= 2 for a meaningful k-VCC).
+	K int `json:"k"`
+	// Algorithm selects the enumeration variant: "basic" (VCCE), "ns"
+	// (VCCE-N), "gs" (VCCE-G) or "star" (VCCE*, the default when empty).
+	// The paper's own names are accepted too.
+	Algorithm string `json:"algorithm,omitempty"`
+	// TimeoutMillis bounds how long this request waits, overriding the
+	// server's default request timeout when positive. It does not cancel
+	// the underlying enumeration, which keeps running to populate the
+	// cache for later requests.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// IncludeMetrics adds per-result quality measures (diameter, density,
+	// clustering — the paper's Section 6.1 effectiveness metrics) to the
+	// response. Diameter is exact and costs O(n·m) per component.
+	IncludeMetrics bool `json:"include_metrics,omitempty"`
+}
+
+// Component is one k-VCC on the wire: its sorted vertex labels plus sizes.
+type Component struct {
+	Vertices    []int64          `json:"vertices"`
+	NumVertices int              `json:"num_vertices"`
+	NumEdges    int              `json:"num_edges"`
+	Metrics     *metrics.Summary `json:"metrics,omitempty"`
+}
+
+// EnumerateResponse is the result of one enumerate call.
+type EnumerateResponse struct {
+	Graph      string            `json:"graph"`
+	K          int               `json:"k"`
+	Algorithm  string            `json:"algorithm"`
+	Cached     bool              `json:"cached"`
+	Deduped    bool              `json:"deduped,omitempty"`
+	ElapsedMS  float64           `json:"elapsed_ms"`
+	Components []Component       `json:"components"`
+	Stats      kvcc.Stats        `json:"stats"`
+	Metrics    *metrics.Averages `json:"avg_metrics,omitempty"`
+}
+
+// ContainingRequest asks which k-VCCs contain one vertex label.
+type ContainingRequest struct {
+	Graph         string `json:"graph"`
+	K             int    `json:"k"`
+	Algorithm     string `json:"algorithm,omitempty"`
+	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+	// Vertex is the label of the vertex to look up (labels are the ids
+	// from the input edge list).
+	Vertex int64 `json:"vertex"`
+}
+
+// ContainingResponse lists the matching components. Indices refer to the
+// component order of EnumerateResponse for the same (graph, k, algorithm).
+type ContainingResponse struct {
+	Graph      string      `json:"graph"`
+	K          int         `json:"k"`
+	Algorithm  string      `json:"algorithm"`
+	Cached     bool        `json:"cached"`
+	Vertex     int64       `json:"vertex"`
+	Indices    []int       `json:"indices"`
+	Components []Component `json:"components"`
+}
+
+// OverlapRequest asks for the pairwise overlap matrix of the k-VCCs.
+type OverlapRequest struct {
+	Graph         string `json:"graph"`
+	K             int    `json:"k"`
+	Algorithm     string `json:"algorithm,omitempty"`
+	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+}
+
+// OverlapResponse carries the symmetric overlap matrix: entry [i][j] is
+// the number of shared vertices between components i and j, and [i][i] is
+// the size of component i. Property 1 of the paper guarantees every
+// off-diagonal entry is below k.
+type OverlapResponse struct {
+	Graph     string  `json:"graph"`
+	K         int     `json:"k"`
+	Algorithm string  `json:"algorithm"`
+	Cached    bool    `json:"cached"`
+	Matrix    [][]int `json:"matrix"`
+}
+
+// GraphInfo describes one graph loaded into the server.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+// StatsResponse is the server's operational snapshot.
+type StatsResponse struct {
+	Graphs       []GraphInfo `json:"graphs"`
+	Cache        CacheStats  `json:"cache"`
+	Enumerations EnumStats   `json:"enumerations"`
+	UptimeMS     float64     `json:"uptime_ms"`
+}
+
+// EnumStats aggregates the enumeration work the server has performed.
+type EnumStats struct {
+	// Started counts enumerations actually run (cache misses that became
+	// flight leaders).
+	Started int64 `json:"started"`
+	// Errors counts enumerations that finished with an error.
+	Errors int64 `json:"errors"`
+	// Deduped counts requests that joined an in-flight enumeration
+	// instead of starting their own.
+	Deduped int64 `json:"deduped"`
+	// TotalMS and MaxMS aggregate the wall-clock latency of completed
+	// enumerations (cache hits excluded; they are served in microseconds).
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// errorResponse is the uniform error body for non-2xx statuses.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseAlgorithm maps the wire names onto the algorithm variants. The
+// short CLI spellings and the paper's names are both accepted; the empty
+// string selects the default VCCE*.
+func parseAlgorithm(name string) (kvcc.Algorithm, error) {
+	switch name {
+	case "", "star", "VCCE*":
+		return kvcc.VCCEStar, nil
+	case "basic", "VCCE":
+		return kvcc.VCCE, nil
+	case "ns", "VCCE-N":
+		return kvcc.VCCEN, nil
+	case "gs", "VCCE-G":
+		return kvcc.VCCEG, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want basic | ns | gs | star)", name)
+}
+
+// wireComponent converts one component subgraph to its wire form.
+func wireComponent(c *graph.Graph, withMetrics bool) Component {
+	labels := append([]int64(nil), c.Labels()...)
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	out := Component{
+		Vertices:    labels,
+		NumVertices: c.NumVertices(),
+		NumEdges:    c.NumEdges(),
+	}
+	if withMetrics {
+		s := metrics.Summarize(c)
+		out.Metrics = &s
+	}
+	return out
+}
+
+func wireComponents(comps []*graph.Graph, withMetrics bool) []Component {
+	out := make([]Component, len(comps))
+	for i, c := range comps {
+		out[i] = wireComponent(c, withMetrics)
+	}
+	return out
+}
+
+// averageComponents computes the paper's per-component quality averages
+// (Figs. 7-9) for one result set.
+func averageComponents(comps []*graph.Graph) metrics.Averages {
+	return metrics.Average(comps)
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"kvcc/gen"
+	"kvcc/graph"
+)
+
+// benchGraph is a planted-community graph sized so the cold enumeration
+// does real work: the cached path should beat it by orders of magnitude.
+func benchGraph() *graph.Graph {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 12, MinSize: 40, MaxSize: 60, IntraProb: 0.4,
+		ChainOverlap: 2, ChainEvery: 2, BridgeEdges: 10,
+		NoiseVertices: 500, NoiseDegree: 4, Seed: 7,
+	})
+	return g
+}
+
+// BenchmarkEnumerateCold measures the uncached path: every iteration runs
+// the full KVCC-ENUM algorithm (the cache is bypassed by a fresh server).
+func BenchmarkEnumerateCold(b *testing.B) {
+	g := benchGraph()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(Config{})
+		s.AddGraph("bench", g)
+		b.StartTimer()
+		if _, err := s.Enumerate(ctx, EnumerateRequest{Graph: "bench", K: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnumerateCached measures the hit path: one enumeration primes
+// the cache, then every iteration is a lookup plus wire conversion.
+func BenchmarkEnumerateCached(b *testing.B) {
+	s := New(Config{})
+	s.AddGraph("bench", benchGraph())
+	ctx := context.Background()
+	if _, err := s.Enumerate(ctx, EnumerateRequest{Graph: "bench", K: 5}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Enumerate(ctx, EnumerateRequest{Graph: "bench", K: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("iteration missed the cache")
+		}
+	}
+}

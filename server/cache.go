@@ -1,0 +1,139 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"kvcc"
+)
+
+// cacheKey identifies one enumeration: a named graph at a specific
+// registration generation, the connectivity parameter, and the algorithm
+// variant. Two requests with the same key are guaranteed the same result
+// because every loaded graph is immutable and all four variants are exact
+// (they differ only in pruning). The generation ties the key to one
+// AddGraph call, so an enumeration still in flight when its graph is
+// replaced can never serve (or cache) results under the new graph's name.
+type cacheKey struct {
+	graph string
+	gen   uint64
+	k     int
+	algo  kvcc.Algorithm
+}
+
+// resultCache is a thread-safe LRU cache of enumeration results. Entries
+// are counted, not sized: a *kvcc.Result shares subgraph storage with the
+// enumeration that produced it, so entry count is the knob the operator
+// reasons about.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[cacheKey]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *kvcc.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used, and records a hit or miss.
+func (c *resultCache) get(key cacheKey) (*kvcc.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// getIfPresent returns the cached result, promoting it and counting a hit
+// when present, but — unlike get — not counting a miss when absent. Used
+// by the flight leader's double-check: a caller that misses the cache and
+// then wins the flight race after another leader already finished must
+// not recompute, and should be accounted as the cache hit it effectively
+// is (its earlier miss was already counted by get).
+func (c *resultCache) getIfPresent(key cacheKey) (*kvcc.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when over capacity.
+func (c *resultCache) put(key cacheKey, res *kvcc.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// invalidateGraph drops every entry computed on the named graph. Called
+// when a graph is replaced at runtime.
+func (c *resultCache) invalidateGraph(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if key.graph == name {
+			c.ll.Remove(el)
+			delete(c.entries, key)
+		}
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"testing"
+
+	"kvcc"
+)
+
+func key(graph string, k int) cacheKey {
+	return cacheKey{graph: graph, k: k, algo: kvcc.VCCEStar}
+}
+
+func result(k int) *kvcc.Result { return &kvcc.Result{K: k} }
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := newResultCache(4)
+	if _, ok := c.get(key("g", 3)); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.put(key("g", 3), result(3))
+	if _, ok := c.get(key("g", 3)); !ok {
+		t.Fatal("cached entry not found")
+	}
+	s := c.stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Size != 1 {
+		t.Fatalf("stats = %+v, want hits=1 misses=1 size=1", s)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.put(key("g", 2), result(2))
+	c.put(key("g", 3), result(3))
+	// Touch k=2 so k=3 is the least recently used.
+	if _, ok := c.get(key("g", 2)); !ok {
+		t.Fatal("k=2 missing before eviction")
+	}
+	c.put(key("g", 4), result(4))
+
+	if _, ok := c.get(key("g", 3)); ok {
+		t.Fatal("LRU entry k=3 survived eviction")
+	}
+	if _, ok := c.get(key("g", 2)); !ok {
+		t.Fatal("recently used entry k=2 was evicted")
+	}
+	if s := c.stats(); s.Evictions != 1 || s.Size != 2 {
+		t.Fatalf("stats = %+v, want evictions=1 size=2", s)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := newResultCache(2)
+	c.put(key("g", 2), result(2))
+	c.put(key("g", 2), result(2))
+	if s := c.stats(); s.Size != 1 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want size=1 evictions=0", s)
+	}
+}
+
+func TestCacheInvalidateGraph(t *testing.T) {
+	c := newResultCache(8)
+	c.put(key("a", 2), result(2))
+	c.put(key("a", 3), result(3))
+	c.put(key("b", 2), result(2))
+	c.invalidateGraph("a")
+
+	if _, ok := c.get(key("a", 2)); ok {
+		t.Fatal("invalidated entry a/2 still present")
+	}
+	if _, ok := c.get(key("a", 3)); ok {
+		t.Fatal("invalidated entry a/3 still present")
+	}
+	if _, ok := c.get(key("b", 2)); !ok {
+		t.Fatal("unrelated graph b was invalidated")
+	}
+}
+
+func TestCacheKeyDistinguishesAlgorithms(t *testing.T) {
+	c := newResultCache(8)
+	c.put(cacheKey{graph: "g", k: 3, algo: kvcc.VCCE}, result(3))
+	if _, ok := c.get(cacheKey{graph: "g", k: 3, algo: kvcc.VCCEStar}); ok {
+		t.Fatal("different algorithm hit the same cache entry")
+	}
+}

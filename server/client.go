@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a minimal Go client for the kvccd HTTP API. It is used by the
+// kvccd self-test mode, the integration tests, and the serving example;
+// external consumers can use it as-is.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:7474".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Per-request deadlines
+	// come from the context passed to each call.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Enumerate requests all k-VCCs of a named graph.
+func (c *Client) Enumerate(ctx context.Context, req EnumerateRequest) (*EnumerateResponse, error) {
+	var resp EnumerateResponse
+	if err := c.post(ctx, PathEnumerate, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ComponentsContaining requests the k-VCCs holding one vertex label.
+func (c *Client) ComponentsContaining(ctx context.Context, req ContainingRequest) (*ContainingResponse, error) {
+	var resp ContainingResponse
+	if err := c.post(ctx, PathContaining, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Overlap requests the pairwise component overlap matrix.
+func (c *Client) Overlap(ctx context.Context, req OverlapRequest) (*OverlapResponse, error) {
+	var resp OverlapResponse
+	if err := c.post(ctx, PathOverlap, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's operational snapshot.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.get(ctx, PathStats, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Graphs lists the graphs loaded into the server.
+func (c *Client) Graphs(ctx context.Context) ([]GraphInfo, error) {
+	var resp []GraphInfo
+	if err := c.get(ctx, PathGraphs, &resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Health reports whether the server answers its health check.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+PathHealth, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: health check: status %s", resp.Status)
+	}
+	return nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) post(ctx context.Context, path string, body, dst any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, dst)
+}
+
+func (c *Client) get(ctx context.Context, path string, dst any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, dst)
+}
+
+func (c *Client) do(req *http.Request, dst any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("server: %s %s: status %s", req.Method, req.URL.Path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// API routes served by Handler. The Client uses the same constants.
+const (
+	PathEnumerate  = "/api/v1/enumerate"
+	PathContaining = "/api/v1/components-containing"
+	PathOverlap    = "/api/v1/overlap"
+	PathStats      = "/api/v1/stats"
+	PathGraphs     = "/api/v1/graphs"
+	PathHealth     = "/healthz"
+)
+
+// Handler returns the HTTP API of the server:
+//
+//	POST /api/v1/enumerate              EnumerateRequest  -> EnumerateResponse
+//	POST /api/v1/components-containing  ContainingRequest -> ContainingResponse
+//	POST /api/v1/overlap                OverlapRequest    -> OverlapResponse
+//	GET  /api/v1/stats                  -> StatsResponse
+//	GET  /api/v1/graphs                 -> []GraphInfo
+//	GET  /healthz                       -> "ok"
+//
+// Errors use JSON bodies {"error": "..."} with status 400 for invalid
+// parameters, 404 for unknown graphs, 504 for request timeouts, and 500
+// otherwise.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathEnumerate, func(w http.ResponseWriter, r *http.Request) {
+		var req EnumerateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.Enumerate(r.Context(), req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("POST "+PathContaining, func(w http.ResponseWriter, r *http.Request) {
+		var req ContainingRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.ComponentsContaining(r.Context(), req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("POST "+PathOverlap, func(w http.ResponseWriter, r *http.Request) {
+		var req OverlapRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.Overlap(r.Context(), req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("GET "+PathStats, func(w http.ResponseWriter, r *http.Request) {
+		respond(w, s.Stats(), nil)
+	})
+	mux.HandleFunc("GET "+PathGraphs, func(w http.ResponseWriter, r *http.Request) {
+		respond(w, s.Graphs(), nil)
+	})
+	mux.HandleFunc("GET "+PathHealth, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// maxRequestBytes caps request bodies; every request type is a handful of
+// small fields, so 1 MiB is generous while keeping one client from
+// buffering arbitrary amounts of memory server-side.
+const maxRequestBytes = 1 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func respond(w http.ResponseWriter, body any, err error) {
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,366 @@
+// Package server turns the one-shot k-VCC enumeration library into a
+// long-running query service. A Server holds a registry of immutable
+// named graphs, an LRU cache of enumeration results keyed by
+// (graph, k, algorithm), and a singleflight layer that collapses
+// concurrent identical requests into one computation. On top of that it
+// exposes an HTTP/JSON API (see Handler) with per-request timeouts; the
+// Client type in this package speaks the same wire format.
+//
+// The cache is sound because an enumeration is a pure function of its
+// key: graphs are never mutated after registration, and the four
+// algorithm variants (Section 6.2 of the paper) produce identical
+// component sets — they differ only in pruning work. A repeated query is
+// therefore served from memory without re-running the algorithm, and the
+// derived endpoints (components-containing, overlap) are cheap
+// post-processing over the same cached result.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"kvcc"
+	"kvcc/graph"
+	"kvcc/graphio"
+)
+
+// Errors mapped to HTTP statuses by the handlers; the Client surfaces the
+// same conditions from response bodies.
+var (
+	// ErrUnknownGraph reports a request naming a graph the server has not
+	// loaded.
+	ErrUnknownGraph = errors.New("server: unknown graph")
+	// ErrBadRequest reports an invalid parameter (k < 2, unknown
+	// algorithm, k above the configured limit).
+	ErrBadRequest = errors.New("server: bad request")
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// CacheSize is the maximum number of cached enumeration results
+	// (default 64). Each entry retains its component subgraphs, so the
+	// memory cost scales with result size, not input size.
+	CacheSize int
+	// RequestTimeout bounds how long a request waits for its result
+	// (default 30s). Clients may lower it per request but never raise it
+	// above this ceiling.
+	RequestTimeout time.Duration
+	// ComputeTimeout bounds one background enumeration (default 5m). It
+	// is deliberately independent of RequestTimeout: a request that gives
+	// up does not cancel the computation, which keeps running to fill the
+	// cache.
+	ComputeTimeout time.Duration
+	// MaxK rejects requests with k above this value (default 0: no
+	// limit). Useful as a guardrail on public deployments.
+	MaxK int
+	// Parallelism is passed through to kvcc.WithParallelism for every
+	// enumeration (default 1: deterministic serial execution).
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ComputeTimeout <= 0 {
+		c.ComputeTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the enumeration service. Create one with New, register graphs
+// with AddGraph or LoadGraphFile, then either serve HTTP via Handler or
+// call the request methods directly.
+type Server struct {
+	cfg    Config
+	cache  *resultCache
+	flight *flightGroup
+	start  time.Time
+
+	mu      sync.Mutex
+	graphs  map[string]graphEntry
+	nextGen uint64
+
+	statsMu sync.Mutex
+	enum    EnumStats
+}
+
+// graphEntry pairs a registered graph with the generation of the AddGraph
+// call that installed it; the generation is part of every cache and
+// flight key (see cacheKey), which keeps an in-flight enumeration on a
+// replaced graph from serving or caching results under the new graph.
+type graphEntry struct {
+	g   *graph.Graph
+	gen uint64
+}
+
+// testHookEnumerateStarted, when non-nil, runs at the start of every
+// flight-leader enumeration (after the cache double-check). Tests use it
+// to hold an enumeration open so concurrent requests demonstrably pile up.
+var testHookEnumerateStarted func()
+
+// New returns a Server with no graphs loaded.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheSize),
+		flight: newFlightGroup(),
+		start:  time.Now(),
+		graphs: make(map[string]graphEntry),
+	}
+}
+
+// AddGraph registers g under name, replacing any previous graph with that
+// name and invalidating its cached results. The server treats g as
+// immutable from this point on; callers must not modify it.
+func (s *Server) AddGraph(name string, g *graph.Graph) {
+	s.mu.Lock()
+	_, replaced := s.graphs[name]
+	s.nextGen++
+	s.graphs[name] = graphEntry{g: g, gen: s.nextGen}
+	s.mu.Unlock()
+	if replaced {
+		s.cache.invalidateGraph(name)
+	}
+}
+
+// LoadGraphFile reads a SNAP-style edge list via graphio and registers it
+// under name.
+func (s *Server) LoadGraphFile(name, path string) error {
+	g, err := graphio.ReadEdgeListFile(path)
+	if err != nil {
+		return fmt.Errorf("server: load %q: %w", name, err)
+	}
+	s.AddGraph(name, g)
+	return nil
+}
+
+// Graphs lists the registered graphs sorted by name.
+func (s *Server) Graphs() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for name, e := range s.graphs {
+		out = append(out, GraphInfo{Name: name, Vertices: e.g.NumVertices(), Edges: e.g.NumEdges()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (s *Server) lookup(name string) (graphEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.graphs[name]
+	if !ok {
+		return graphEntry{}, fmt.Errorf("%w: %q", ErrUnknownGraph, name)
+	}
+	return e, nil
+}
+
+// requestContext derives the context that bounds one request's wait:
+// the client's override (capped at the server ceiling) or the default.
+func (s *Server) requestContext(ctx context.Context, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if timeoutMillis > 0 {
+		if d := time.Duration(timeoutMillis) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return context.WithTimeout(ctx, timeout)
+}
+
+// result is the heart of the server: cache lookup, then singleflight
+// around the actual enumeration. It reports whether the result came from
+// the cache and whether this caller piggybacked on an in-flight
+// computation.
+func (s *Server) result(ctx context.Context, graphName string, k int, algo kvcc.Algorithm) (res *kvcc.Result, cached, deduped bool, err error) {
+	if k < 2 {
+		return nil, false, false, fmt.Errorf("%w: k must be >= 2, got %d", ErrBadRequest, k)
+	}
+	if s.cfg.MaxK > 0 && k > s.cfg.MaxK {
+		return nil, false, false, fmt.Errorf("%w: k %d exceeds server limit %d", ErrBadRequest, k, s.cfg.MaxK)
+	}
+	entry, err := s.lookup(graphName)
+	if err != nil {
+		return nil, false, false, err
+	}
+
+	key := cacheKey{graph: graphName, gen: entry.gen, k: k, algo: algo}
+	if res, ok := s.cache.get(key); ok {
+		return res, true, false, nil
+	}
+
+	// Double-check inside the flight: this caller may have missed the
+	// cache above and then won the flight race only after a previous
+	// leader already stored the result. lateHit is only written by this
+	// caller's own closure, and flight.do's completion channel orders the
+	// write before the read.
+	var lateHit bool
+	res, deduped, err = s.flight.do(ctx, key, func() (*kvcc.Result, error) {
+		if r, ok := s.cache.getIfPresent(key); ok {
+			lateHit = true
+			return r, nil
+		}
+		return s.enumerate(key, entry.g)
+	})
+	if err != nil {
+		return nil, false, false, err
+	}
+	if lateHit {
+		return res, true, false, nil
+	}
+	return res, false, deduped, nil
+}
+
+// enumerate runs one cache-filling enumeration as the flight leader, on a
+// context detached from any request, and records latency metrics.
+func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
+	if testHookEnumerateStarted != nil {
+		testHookEnumerateStarted()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ComputeTimeout)
+	defer cancel()
+
+	s.statsMu.Lock()
+	s.enum.Started++
+	s.statsMu.Unlock()
+
+	begin := time.Now()
+	res, err := kvcc.EnumerateContext(ctx, g, key.k,
+		kvcc.WithAlgorithm(key.algo), kvcc.WithParallelism(s.cfg.Parallelism))
+	elapsed := time.Since(begin)
+
+	s.statsMu.Lock()
+	if err != nil {
+		s.enum.Errors++
+	}
+	ms := float64(elapsed) / float64(time.Millisecond)
+	s.enum.TotalMS += ms
+	if ms > s.enum.MaxMS {
+		s.enum.MaxMS = ms
+	}
+	s.statsMu.Unlock()
+
+	if err != nil {
+		return nil, err
+	}
+	// Only cache if the graph generation is still current: a result
+	// computed on a graph that was replaced mid-flight would otherwise sit
+	// unreachable in the LRU (lookups always use the current generation),
+	// wasting a slot until eviction.
+	s.mu.Lock()
+	cur, ok := s.graphs[key.graph]
+	s.mu.Unlock()
+	if ok && cur.gen == key.gen {
+		s.cache.put(key, res)
+	}
+	return res, nil
+}
+
+// Enumerate serves one enumerate request. It is the method behind
+// POST /api/v1/enumerate and is equally usable in-process.
+func (s *Server) Enumerate(ctx context.Context, req EnumerateRequest) (*EnumerateResponse, error) {
+	algo, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	defer cancel()
+
+	begin := time.Now()
+	res, cached, deduped, err := s.result(ctx, req.Graph, req.K, algo)
+	if err != nil {
+		return nil, err
+	}
+	resp := &EnumerateResponse{
+		Graph:      req.Graph,
+		K:          req.K,
+		Algorithm:  algo.String(),
+		Cached:     cached,
+		Deduped:    deduped,
+		ElapsedMS:  float64(time.Since(begin)) / float64(time.Millisecond),
+		Components: wireComponents(res.Components, req.IncludeMetrics),
+		Stats:      res.Stats,
+	}
+	if req.IncludeMetrics {
+		avg := averageComponents(res.Components)
+		resp.Metrics = &avg
+	}
+	return resp, nil
+}
+
+// ComponentsContaining serves one components-containing request: the
+// indices (and bodies) of the cached components holding one vertex label.
+func (s *Server) ComponentsContaining(ctx context.Context, req ContainingRequest) (*ContainingResponse, error) {
+	algo, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	defer cancel()
+
+	res, cached, _, err := s.result(ctx, req.Graph, req.K, algo)
+	if err != nil {
+		return nil, err
+	}
+	indices := res.ComponentsContaining(req.Vertex)
+	comps := make([]Component, len(indices))
+	for i, idx := range indices {
+		comps[i] = wireComponent(res.Components[idx], false)
+	}
+	return &ContainingResponse{
+		Graph:      req.Graph,
+		K:          req.K,
+		Algorithm:  algo.String(),
+		Cached:     cached,
+		Vertex:     req.Vertex,
+		Indices:    indices,
+		Components: comps,
+	}, nil
+}
+
+// Overlap serves one overlap request: the pairwise overlap matrix of the
+// cached components.
+func (s *Server) Overlap(ctx context.Context, req OverlapRequest) (*OverlapResponse, error) {
+	algo, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	defer cancel()
+
+	res, cached, _, err := s.result(ctx, req.Graph, req.K, algo)
+	if err != nil {
+		return nil, err
+	}
+	return &OverlapResponse{
+		Graph:     req.Graph,
+		K:         req.K,
+		Algorithm: algo.String(),
+		Cached:    cached,
+		Matrix:    res.OverlapMatrix(),
+	}, nil
+}
+
+// Stats returns the operational snapshot behind GET /api/v1/stats.
+func (s *Server) Stats() *StatsResponse {
+	s.statsMu.Lock()
+	enum := s.enum
+	s.statsMu.Unlock()
+	enum.Deduped = s.flight.dedupedCount()
+	return &StatsResponse{
+		Graphs:       s.Graphs(),
+		Cache:        s.cache.stats(),
+		Enumerations: enum,
+		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
+	}
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"kvcc"
+)
+
+// flightGroup deduplicates concurrent enumerations of the same cacheKey.
+// The first caller becomes the leader and runs the computation; everyone
+// else who arrives before it finishes waits on the same call.
+//
+// The leader runs detached from any single request's context: an
+// enumeration is expensive and its result is cacheable, so one impatient
+// client hanging up should not waste the work for the clients still
+// waiting (or for the cache). Each waiter instead bounds its own wait with
+// its own context and may return early while the computation continues.
+type flightGroup struct {
+	mu     sync.Mutex
+	flight map[cacheKey]*flightCall
+
+	deduped int64 // callers who joined an existing flight
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *kvcc.Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flight: make(map[cacheKey]*flightCall)}
+}
+
+// do returns the result of fn for key, running fn at most once per flight.
+// The context bounds only this caller's wait, never the computation; when
+// the context expires the caller gets ctx.Err() while the flight finishes
+// in the background. The shared flag reports whether this caller joined a
+// flight started by someone else.
+func (g *flightGroup) do(ctx context.Context, key cacheKey, fn func() (*kvcc.Result, error)) (res *kvcc.Result, shared bool, err error) {
+	g.mu.Lock()
+	if call, ok := g.flight[key]; ok {
+		g.deduped++
+		g.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.res, true, call.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.flight[key] = call
+	g.mu.Unlock()
+
+	go func() {
+		call.res, call.err = fn()
+		g.mu.Lock()
+		delete(g.flight, key)
+		g.mu.Unlock()
+		close(call.done)
+	}()
+
+	select {
+	case <-call.done:
+		return call.res, false, call.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+func (g *flightGroup) dedupedCount() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.deduped
+}
