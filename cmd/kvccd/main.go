@@ -1,20 +1,27 @@
 // Command kvccd is the long-running k-VCC enumeration service. It loads
 // one or more named edge-list graphs, serves the HTTP/JSON query API from
 // the server package, and amortizes enumeration cost across queries with
-// an LRU result cache plus in-flight request deduplication.
+// a per-graph hierarchy index, an LRU result cache, and in-flight request
+// deduplication.
 //
 // Usage:
 //
 //	kvccd -graph social=social.txt -graph web=web.txt [-addr :7474]
-//	      [-cache 64] [-max-k 0] [-parallel 1]
+//	      [-cache 64] [-max-k 0] [-parallel 1] [-index] [-index-max-k 0]
 //	      [-request-timeout 30s] [-compute-timeout 5m] [-demo] [-selftest]
 //
 // -graph name=path registers an edge list under a query name and may be
-// repeated. -demo registers a small generated community graph under the
+// repeated. -index precomputes the full k-VCC cohesion tree of every
+// graph in the background at startup; once ready, enumerate queries for
+// any k are answered from the tree instead of running the algorithm
+// (hierarchy and cohesion queries build the index on demand either way).
+// -index-max-k truncates that tree at a level when only shallow queries
+// matter. -demo registers a small generated community graph under the
 // name "demo" so the server can be tried without any dataset. -selftest
 // starts the server on an ephemeral port, drives every endpoint through
-// the Go client (verifying that a repeated query is a cache hit), prints
-// a transcript, and exits; it is both a smoke test and a usage example.
+// the Go client (verifying that a repeated query is a cache hit and that
+// the hierarchy index serves an uncached k), prints a transcript, and
+// exits; it is both a smoke test and a usage example.
 package main
 
 import (
@@ -70,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheSize      = fs.Int("cache", 64, "result cache capacity (entries)")
 		maxK           = fs.Int("max-k", 0, "reject queries with k above this (0 = no limit)")
 		parallel       = fs.Int("parallel", 1, "enumeration worker count")
+		index          = fs.Bool("index", false, "precompute the hierarchy index of every graph at startup")
+		indexMaxK      = fs.Int("index-max-k", 0, "truncate hierarchy index builds at this level (0 = full depth)")
 		requestTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request wait ceiling")
 		computeTimeout = fs.Duration("compute-timeout", 5*time.Minute, "per-enumeration ceiling")
 		demo           = fs.Bool("demo", false, `also serve a generated community graph as "demo"`)
@@ -90,6 +99,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallelism:    *parallel,
 		RequestTimeout: *requestTimeout,
 		ComputeTimeout: *computeTimeout,
+		BuildIndex:     *index,
+		IndexMaxK:      *indexMaxK,
 	})
 	for name, path := range graphs {
 		if err := srv.LoadGraphFile(name, path); err != nil {
@@ -106,7 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *selftest {
-		return runSelfTest(srv, stdout, stderr)
+		return runSelfTest(srv, *indexMaxK, stdout, stderr)
 	}
 
 	httpServer := &http.Server{
@@ -147,7 +158,10 @@ func demoGraph() *graph.Graph {
 
 // runSelfTest drives every endpoint through the client against a live
 // listener and verifies the cache actually short-circuits repeat queries.
-func runSelfTest(srv *server.Server, stdout, stderr io.Writer) int {
+// indexMaxK mirrors the -index-max-k flag: a truncated index is expected
+// to be incomplete and only serves levels up to the cap, so the
+// index-served probe adapts accordingly.
+func runSelfTest(srv *server.Server, indexMaxK int, stdout, stderr io.Writer) int {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(stderr, "kvccd: selftest:", err)
@@ -185,14 +199,21 @@ func runSelfTest(srv *server.Server, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "selftest: %d-VCCs of %q: %d components in %.1fms (cached=%v)\n",
 		k, name, len(first.Components), first.ElapsedMS, first.Cached)
 
+	// A repeat must be answered without re-running the algorithm: from the
+	// cache, or — when the index build already finished (with -index it
+	// can even beat the first query) — from the hierarchy index.
 	second, err := client.Enumerate(ctx, server.EnumerateRequest{Graph: name, K: k})
 	if err != nil {
 		return fail("enumerate (repeat)", err)
 	}
-	if !second.Cached {
-		return fail("cache", fmt.Errorf("repeated query was not served from cache"))
+	switch {
+	case second.Cached:
+		fmt.Fprintf(stdout, "selftest: repeat query served from cache in %.3fms\n", second.ElapsedMS)
+	case second.IndexServed:
+		fmt.Fprintf(stdout, "selftest: repeat query served from the hierarchy index in %.3fms\n", second.ElapsedMS)
+	default:
+		return fail("cache", fmt.Errorf("repeated query was recomputed"))
 	}
-	fmt.Fprintf(stdout, "selftest: repeat query served from cache in %.3fms\n", second.ElapsedMS)
 
 	if len(first.Components) > 0 {
 		v := first.Components[0].Vertices[0]
@@ -209,15 +230,78 @@ func runSelfTest(srv *server.Server, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "selftest: overlap matrix is %dx%d\n", len(overlap.Matrix), len(overlap.Matrix))
 	}
 
+	// Hierarchy index: the request blocks until the background (or
+	// on-demand) build finishes, after which any uncached k must be
+	// served from the tree rather than enumerated.
+	hier, err := client.Hierarchy(ctx, server.HierarchyRequest{Graph: name})
+	if err != nil {
+		return fail("hierarchy", err)
+	}
+	fmt.Fprintf(stdout, "selftest: hierarchy of %q: max k=%d, %d components across %d levels (built in %.1fms)\n",
+		name, hier.MaxK, hier.Size, len(hier.Levels), hier.BuildMS)
+	if indexMaxK == 0 && !hier.Complete {
+		return fail("hierarchy", fmt.Errorf("full-depth index build reported incomplete"))
+	}
+
+	// Probe a k the (possibly truncated) index must cover: one past the
+	// query k for a full-depth build, otherwise a level within the cap.
+	probe := k + 1
+	if indexMaxK > 0 && probe > hier.MaxK {
+		probe = 2
+	}
+	indexed, err := client.Enumerate(ctx, server.EnumerateRequest{Graph: name, K: probe})
+	if err != nil {
+		return fail("enumerate (indexed)", err)
+	}
+	if !indexed.IndexServed {
+		return fail("index", fmt.Errorf("k=%d was not served from the hierarchy index", probe))
+	}
+	fmt.Fprintf(stdout, "selftest: %d-VCCs served from the index in %.3fms (%d components)\n",
+		probe, indexed.ElapsedMS, len(indexed.Components))
+
+	if len(first.Components) > 0 {
+		v := first.Components[0].Vertices[0]
+		coh, err := client.Cohesion(ctx, server.CohesionRequest{Graph: name, Vertices: []int64{v}})
+		if err != nil {
+			return fail("cohesion", err)
+		}
+		// A truncated index cannot see cohesion past its cap.
+		wantAtLeast := k
+		if indexMaxK > 0 && indexMaxK < k {
+			wantAtLeast = indexMaxK
+		}
+		if len(coh.Results) != 1 || coh.Results[0].Cohesion < wantAtLeast {
+			return fail("cohesion", fmt.Errorf("vertex %d in a %d-VCC reports cohesion %d",
+				v, k, coh.Results[0].Cohesion))
+		}
+		fmt.Fprintf(stdout, "selftest: vertex %d has cohesion %d (nesting chain of %d components)\n",
+			v, coh.Results[0].Cohesion, len(coh.Results[0].Path))
+	}
+
+	batch, err := client.EnumerateBatch(ctx, server.BatchEnumerateRequest{Graph: name, Ks: []int{2, 3, k}})
+	if err != nil {
+		return fail("enumerate-batch", err)
+	}
+	if len(batch.Results) != 3 {
+		return fail("enumerate-batch", fmt.Errorf("asked for 3 values of k, got %d results", len(batch.Results)))
+	}
+	fmt.Fprintf(stdout, "selftest: batch k=2,3,%d answered in one call (%d+%d+%d components)\n",
+		k, len(batch.Results[0].Components), len(batch.Results[1].Components), len(batch.Results[2].Components))
+
 	stats, err := client.Stats(ctx)
 	if err != nil {
 		return fail("stats", err)
 	}
-	if stats.Cache.Hits < 1 {
+	if stats.Cache.Hits < 1 && !second.IndexServed {
 		return fail("stats", fmt.Errorf("expected at least one cache hit, got %d", stats.Cache.Hits))
 	}
-	fmt.Fprintf(stdout, "selftest: cache hits=%d misses=%d, enumerations=%d (%.1fms total)\n",
-		stats.Cache.Hits, stats.Cache.Misses, stats.Enumerations.Started, stats.Enumerations.TotalMS)
+	if stats.Enumerations.IndexServed < 1 {
+		return fail("stats", fmt.Errorf("expected at least one index-served query, got %d",
+			stats.Enumerations.IndexServed))
+	}
+	fmt.Fprintf(stdout, "selftest: cache hits=%d misses=%d, enumerations=%d, index-served=%d (%.1fms total)\n",
+		stats.Cache.Hits, stats.Cache.Misses, stats.Enumerations.Started,
+		stats.Enumerations.IndexServed, stats.Enumerations.TotalMS)
 	fmt.Fprintln(stdout, "selftest: ok")
 	return 0
 }

@@ -45,6 +45,38 @@ func TestSelfTestWithDemoGraph(t *testing.T) {
 	}
 }
 
+// With -index the selftest must see the hierarchy index answer queries:
+// the post-hierarchy enumerate is always index-served, whatever the
+// background build's timing relative to the earlier cache checks.
+func TestSelfTestWithIndex(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-selftest", "-index"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errBuf.String())
+	}
+	for _, want := range []string{
+		"served from the index",
+		"has cohesion",
+		"answered in one call",
+		"selftest: ok",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// A truncated index (-index-max-k) is legitimately incomplete; the
+// selftest must adapt its completeness and index-served expectations.
+func TestSelfTestWithTruncatedIndex(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-selftest", "-index", "-index-max-k", "3"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\n%s", code, errBuf.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "selftest: ok") {
+		t.Fatalf("self-test did not pass:\n%s", out.String())
+	}
+}
+
 func TestSelfTestWithLoadedGraph(t *testing.T) {
 	in := writeFixture(t)
 	var out, errBuf bytes.Buffer

@@ -1,0 +1,56 @@
+// Any-k serving: build the cohesion hierarchy index once with
+// kvcc.BuildHierarchy, then answer every k — enumerations, per-vertex
+// cohesion, nesting chains — from the tree without re-running the
+// algorithm. Compares the index's build cost against the per-k baseline
+// it replaces and shows the nesting property at work.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"kvcc"
+	"kvcc/gen"
+)
+
+func main() {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 10, MinSize: 12, MaxSize: 24, IntraProb: 0.75,
+		ChainOverlap: 3, ChainEvery: 2, BridgeEdges: 8,
+		NoiseVertices: 300, NoiseDegree: 3, Seed: 42,
+	})
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	// One incremental pass computes every level: level k+1 is enumerated
+	// only inside each level-k component (nesting property).
+	begin := time.Now()
+	tree, err := kvcc.BuildHierarchy(g, kvcc.WithParallelism(4))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hierarchy built in %v: max k=%d, %d components, %d levels\n",
+		time.Since(begin).Round(time.Millisecond), tree.MaxK, tree.Size(), tree.Stats.Levels)
+	fmt.Printf("enumerated %d vertices total; per-level-from-scratch baseline is %d\n\n",
+		tree.Stats.EnumeratedVertices, int64(tree.Stats.Levels)*int64(g.NumVertices()))
+
+	// Any k is now a lookup.
+	fmt.Printf("%4s %12s %12s\n", "k", "#k-VCC", "max size")
+	for k := 2; k <= tree.MaxK; k++ {
+		level := tree.LevelComponents(k)
+		maxSize := 0
+		for _, c := range level {
+			if c.NumVertices() > maxSize {
+				maxSize = c.NumVertices()
+			}
+		}
+		fmt.Printf("%4d %12d %12d\n", k, len(level), maxSize)
+	}
+
+	// Per-vertex cohesion and nesting chains are O(1)-ish map lookups.
+	deepest := tree.Level(tree.MaxK)[0]
+	label := deepest.Component.Labels()[0]
+	fmt.Printf("\nvertex %d has cohesion %d; its nesting chain:\n", label, tree.Cohesion(label))
+	for _, n := range tree.Path(label) {
+		fmt.Printf("  %d-VCC with %d vertices\n", n.K, n.Component.NumVertices())
+	}
+}

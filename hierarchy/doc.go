@@ -9,10 +9,13 @@
 // That same fact makes the construction efficient: level k+1 is computed
 // by enumerating (k+1)-VCCs inside each level-k component independently
 // (each call going through the same KVCC-ENUM pipeline as the kvcc
-// package), so the work shrinks as the hierarchy deepens. Build stops at
-// the first level with no components or at Options.MaxK.
+// package), optionally in parallel across siblings, so the work shrinks
+// as the hierarchy deepens — Tree.Stats records exactly how much. Build
+// stops at the first level with no components or at Options.MaxK.
 //
-// The resulting Tree answers the case-study questions of Section 6.3:
-// how cohesion nests, which vertices sit in the deepest cores, and how a
-// community decomposes as k grows.
+// The finished Tree is an immutable serving index: Level(k) returns the
+// k-VCCs in the same canonical order a direct enumeration would, and
+// Cohesion/Path answer per-vertex queries from a label map in O(1)-ish
+// time. The kvccd server builds one Tree per graph in the background and
+// serves any-k enumeration, cohesion and batch queries from it.
 package hierarchy

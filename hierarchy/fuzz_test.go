@@ -1,0 +1,137 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"kvcc/graph"
+	"kvcc/internal/core"
+)
+
+// fuzzGraph decodes a byte string into a small graph: the first byte picks
+// the vertex count (2..13), every following pair of bytes is one edge.
+// Self-loops and duplicates are dropped by the builder, so every input is
+// valid.
+func fuzzGraph(data []byte) *graph.Graph {
+	if len(data) == 0 {
+		return graph.FromEdges(2, nil)
+	}
+	n := 2 + int(data[0])%12
+	var edges [][2]int
+	for i := 1; i+1 < len(data); i += 2 {
+		edges = append(edges, [2]int{int(data[i]) % n, int(data[i+1]) % n})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// FuzzHierarchyConsistency cross-checks the incremental hierarchy build
+// against direct per-k enumeration on arbitrary small graphs: per-level
+// label-set equality, structural nesting, and Cohesion/Path agreement with
+// the enumerations.
+func FuzzHierarchyConsistency(f *testing.F) {
+	f.Add([]byte{7, 0, 1, 1, 2, 2, 0, 2, 3, 3, 4, 4, 2})       // triangles sharing vertices
+	f.Add([]byte{5, 0, 1, 0, 2, 0, 3, 0, 4, 1, 2, 3, 4})       // star plus chords
+	f.Add([]byte{9, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 0}) // cycle
+	f.Add([]byte{4, 0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3})       // K4
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(data)
+		tree, err := Build(g, Options{})
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+
+		// Per-level label-set equality with direct enumeration, one level
+		// past MaxK to confirm the tree is complete.
+		for k := 1; k <= tree.MaxK+1; k++ {
+			direct, _, err := core.Enumerate(g, k, core.Options{})
+			if err != nil {
+				t.Fatalf("enumerate k=%d: %v", k, err)
+			}
+			level := tree.LevelComponents(k)
+			if len(level) != len(direct) {
+				t.Fatalf("k=%d: tree has %d components, direct %d", k, len(level), len(direct))
+			}
+			for i := range level {
+				a, b := core.SortedLabels(level[i]), core.SortedLabels(direct[i])
+				if len(a) != len(b) {
+					t.Fatalf("k=%d component %d: size %d vs %d", k, i, len(a), len(b))
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("k=%d component %d: label mismatch", k, i)
+					}
+				}
+			}
+		}
+
+		// Structural nesting: every child is a (K+1)-VCC whose vertices all
+		// lie in its parent.
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			parent := map[int64]bool{}
+			for _, l := range n.Component.Labels() {
+				parent[l] = true
+			}
+			for _, c := range n.Children {
+				if c.K != n.K+1 {
+					t.Fatalf("child level %d under parent level %d", c.K, n.K)
+				}
+				if c.Parent != n {
+					t.Fatal("child's Parent pointer does not match")
+				}
+				for _, l := range c.Component.Labels() {
+					if !parent[l] {
+						t.Fatalf("child vertex %d not in parent", l)
+					}
+				}
+				walk(c)
+			}
+		}
+		for _, r := range tree.Roots {
+			walk(r)
+		}
+
+		// Cohesion must equal the deepest level whose enumeration contains
+		// the label, and Path must be the chain 1..Cohesion with every step
+		// containing the label and chained by Parent links.
+		for v := 0; v < g.NumVertices(); v++ {
+			label := g.Label(v)
+			want := 0
+			for k := 1; k <= tree.MaxK; k++ {
+				for _, c := range tree.LevelComponents(k) {
+					if containsLabel(c, label) {
+						want = k
+						break
+					}
+				}
+			}
+			if got := tree.Cohesion(label); got != want {
+				t.Fatalf("cohesion(%d) = %d, want %d", label, got, want)
+			}
+			path := tree.Path(label)
+			if len(path) != want {
+				t.Fatalf("path(%d) has %d steps, cohesion is %d", label, len(path), want)
+			}
+			for i, n := range path {
+				if n.K != i+1 {
+					t.Fatalf("path(%d) step %d has K=%d", label, i, n.K)
+				}
+				if !containsLabel(n.Component, label) {
+					t.Fatalf("path(%d) step %d does not contain the label", label, i)
+				}
+				if i > 0 && n.Parent != path[i-1] {
+					t.Fatalf("path(%d) step %d is not a child of step %d", label, i, i-1)
+				}
+			}
+		}
+	})
+}
+
+func containsLabel(g *graph.Graph, label int64) bool {
+	for _, l := range g.Labels() {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}

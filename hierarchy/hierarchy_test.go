@@ -1,6 +1,7 @@
 package hierarchy
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -185,6 +186,178 @@ func TestChildrenNestInParents(t *testing.T) {
 	}
 	for _, r := range tree.Roots {
 		walk(r)
+	}
+}
+
+// The incremental build must do strictly less enumeration work than the
+// per-level-from-scratch baseline, which passes the full graph to every
+// level: baseline work = levels x |V| enumerated vertices.
+func TestIncrementalBuildEnumeratesFewerVertices(t *testing.T) {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 6, MinSize: 8, MaxSize: 14, IntraProb: 0.85,
+		ChainOverlap: 2, ChainEvery: 2, BridgeEdges: 4,
+		NoiseVertices: 60, NoiseDegree: 2, Seed: 9,
+	})
+	tree, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := int64(tree.Stats.Levels) * int64(g.NumVertices())
+	if tree.Stats.EnumeratedVertices >= baseline {
+		t.Fatalf("incremental build enumerated %d vertices, baseline %d (levels=%d, n=%d)",
+			tree.Stats.EnumeratedVertices, baseline, tree.Stats.Levels, g.NumVertices())
+	}
+	// The per-level breakdown must sum to the total and match Level sizes.
+	var sum int64
+	for _, lvl := range tree.Stats.PerLevel {
+		sum += lvl.EnumeratedVertices
+		if lvl.K <= tree.MaxK && lvl.Components != len(tree.Level(lvl.K)) {
+			t.Fatalf("level %d stats report %d components, tree has %d",
+				lvl.K, lvl.Components, len(tree.Level(lvl.K)))
+		}
+	}
+	if sum != tree.Stats.EnumeratedVertices {
+		t.Fatalf("per-level sum %d != total %d", sum, tree.Stats.EnumeratedVertices)
+	}
+}
+
+// Parallel sibling enumeration must produce the identical tree.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 8, MinSize: 8, MaxSize: 16, IntraProb: 0.8,
+		ChainOverlap: 2, ChainEvery: 2, BridgeEdges: 6,
+		NoiseVertices: 80, NoiseDegree: 2, Seed: 17,
+	})
+	serial, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Build(g, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.MaxK != parallel.MaxK || serial.Size() != parallel.Size() {
+		t.Fatalf("serial MaxK=%d size=%d, parallel MaxK=%d size=%d",
+			serial.MaxK, serial.Size(), parallel.MaxK, parallel.Size())
+	}
+	for k := 1; k <= serial.MaxK; k++ {
+		a, b := serial.Level(k), parallel.Level(k)
+		if len(a) != len(b) {
+			t.Fatalf("k=%d: serial %d components, parallel %d", k, len(a), len(b))
+		}
+		for i := range a {
+			if signature(a[i].Component) != signature(b[i].Component) {
+				t.Fatalf("k=%d component %d differs between serial and parallel", k, i)
+			}
+		}
+	}
+}
+
+func TestBuildContextCancel(t *testing.T) {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 6, MinSize: 10, MaxSize: 16, IntraProb: 0.8,
+		ChainOverlap: 2, ChainEvery: 2, Seed: 3,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildContext(ctx, g, Options{}); err == nil {
+		t.Fatal("cancelled build must return an error")
+	}
+}
+
+// LevelComponents must be exactly what a direct enumeration returns,
+// including the canonical order — the property the server's index-served
+// responses rely on for byte-equality with cache-served ones.
+func TestLevelComponentsCanonicalOrder(t *testing.T) {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 5, MinSize: 8, MaxSize: 12, IntraProb: 0.85,
+		ChainOverlap: 2, ChainEvery: 2, BridgeEdges: 3,
+		NoiseVertices: 40, NoiseDegree: 2, Seed: 21,
+	})
+	tree, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 2; k <= tree.MaxK+1; k++ {
+		direct, _, err := core.Enumerate(g, k, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		level := tree.LevelComponents(k)
+		if len(level) != len(direct) {
+			t.Fatalf("k=%d: index %d components, direct %d", k, len(level), len(direct))
+		}
+		for i := range level {
+			if signature(level[i]) != signature(direct[i]) {
+				t.Fatalf("k=%d: component %d out of canonical order", k, i)
+			}
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	g := twoK4sSharedVertex()
+	full, err := Build(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 4, 100} {
+		if !full.Covers(k) {
+			t.Fatalf("complete tree must cover k=%d", k)
+		}
+	}
+	if full.Covers(0) {
+		t.Fatal("k=0 is never covered")
+	}
+	truncated, err := Build(g, Options{MaxK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated.Covers(2) || truncated.Covers(3) {
+		t.Fatalf("MaxK=2 tree: Covers(2)=%v Covers(3)=%v, want true/false",
+			truncated.Covers(2), truncated.Covers(3))
+	}
+	// MaxK above the natural depth still yields a complete tree.
+	deep, err := Build(g, Options{MaxK: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deep.Covers(10) || !deep.Covers(50) {
+		t.Fatal("tree that exhausted below MaxK must cover every k")
+	}
+}
+
+// A K4 and a larger 5-cycle sharing one vertex: at level 2 the cycle is
+// the bigger component, but only the K4 branch reaches level 3. Path must
+// follow the branch that reaches the vertex's cohesion level, not greedily
+// descend into the largest component per level (regression: the greedy
+// walk returned a 2-step path for a cohesion-3 vertex).
+func TestPathReachesCohesionLevel(t *testing.T) {
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, // 5-cycle through 0
+		{0, 5}, {0, 6}, {0, 7}, {5, 6}, {5, 7}, {6, 7}, // K4 {0,5,6,7}
+	}
+	tree, err := Build(graph.FromEdges(8, edges), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := tree.Cohesion(0); c != 3 {
+		t.Fatalf("cohesion(0) = %d, want 3", c)
+	}
+	path := tree.Path(0)
+	if len(path) != 3 {
+		t.Fatalf("path(0) has %d steps, want 3", len(path))
+	}
+	for i, n := range path {
+		if n.K != i+1 {
+			t.Fatalf("path step %d has K=%d", i, n.K)
+		}
+		if i > 0 && n.Parent != path[i-1] {
+			t.Fatalf("path step %d not a child of step %d", i, i-1)
+		}
+	}
+	if path[2].Component.NumVertices() != 4 {
+		t.Fatalf("deepest step has %d vertices, want the K4", path[2].Component.NumVertices())
 	}
 }
 

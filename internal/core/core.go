@@ -112,8 +112,9 @@ func (s *Stats) String() string {
 		s.FlowRuns, s.SweptNS1, s.SweptNS2, s.SweptGS, s.TestedNonPrune)
 }
 
-// add accumulates s2 into s.
-func (s *Stats) add(s2 *Stats) {
+// Add accumulates s2 into s. Counters sum; PeakBytes takes the maximum,
+// matching how independent subproblems contribute to a whole run.
+func (s *Stats) Add(s2 *Stats) {
 	s.GlobalCutCalls += s2.GlobalCutCalls
 	s.Partitions += s2.Partitions
 	s.KCorePeeled += s2.KCorePeeled
@@ -168,7 +169,7 @@ func EnumerateContext(ctx context.Context, g *graph.Graph, k int, opts Options) 
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
-	sortComponents(results)
+	SortComponents(results)
 	return results, stats, nil
 }
 
@@ -239,7 +240,7 @@ func (e *enumerator) runParallel(g *graph.Graph, stats *Stats) []*graph.Graph {
 				local := &Stats{}
 				children, vccs := e.step(t, local)
 				mu.Lock()
-				stats.add(local)
+				stats.Add(local)
 				results = append(results, vccs...)
 				mu.Unlock()
 				for _, c := range children {
@@ -343,25 +344,38 @@ func overlapPartition(g *graph.Graph, cut []int) []*graph.Graph {
 	return parts
 }
 
-// sortComponents puts components in a canonical order: by descending
-// vertex count, then lexicographically by sorted label sequence.
-func sortComponents(comps []*graph.Graph) {
+// SortComponents puts components in a canonical order: by descending
+// vertex count, then lexicographically by sorted label sequence. Every
+// Enumerate result is in this order; the hierarchy package applies the
+// same ordering to its levels so that an index-served level is
+// indistinguishable from a direct enumeration.
+func SortComponents(comps []*graph.Graph) {
 	keys := make(map[*graph.Graph][]int64, len(comps))
 	for _, c := range comps {
-		labels := append([]int64(nil), c.Labels()...)
-		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
-		keys[c] = labels
+		keys[c] = SortedLabels(c)
 	}
 	sort.Slice(comps, func(i, j int) bool {
-		a, b := keys[comps[i]], keys[comps[j]]
-		if len(a) != len(b) {
-			return len(a) > len(b)
-		}
-		for x := range a {
-			if a[x] != b[x] {
-				return a[x] < b[x]
-			}
-		}
-		return false
+		return LabelsLess(keys[comps[i]], keys[comps[j]])
 	})
+}
+
+// SortedLabels returns the component's vertex labels in ascending order.
+func SortedLabels(c *graph.Graph) []int64 {
+	labels := append([]int64(nil), c.Labels()...)
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	return labels
+}
+
+// LabelsLess is the canonical component order on sorted label slices:
+// larger components first, ties broken lexicographically.
+func LabelsLess(a, b []int64) bool {
+	if len(a) != len(b) {
+		return len(a) > len(b)
+	}
+	for x := range a {
+		if a[x] != b[x] {
+			return a[x] < b[x]
+		}
+	}
+	return false
 }

@@ -1,0 +1,70 @@
+package difftest
+
+import (
+	"testing"
+
+	"kvcc/internal/verify"
+)
+
+// TestVariantsAgree diffs all four algorithm variants (and the parallel
+// driver) against each other on every corpus graph and every k up to the
+// case's MaxK.
+func TestVariantsAgree(t *testing.T) {
+	for _, c := range Corpus() {
+		t.Run(c.Name, func(t *testing.T) {
+			for k := 2; k <= c.MaxK; k++ {
+				CheckVariantsAgree(t, c.G, k)
+			}
+		})
+	}
+}
+
+// TestOracle diffs the default enumeration against the exponential
+// brute-force oracle on tiny graphs — ground truth per Definition 2.
+func TestOracle(t *testing.T) {
+	for _, c := range OracleCorpus() {
+		t.Run(c.Name, func(t *testing.T) {
+			if c.G.NumVertices() > OracleVertexLimit {
+				t.Fatalf("oracle case has %d vertices, limit %d", c.G.NumVertices(), OracleVertexLimit)
+			}
+			for k := 2; k <= c.MaxK; k++ {
+				CheckOracle(t, c.G, k)
+			}
+		})
+	}
+}
+
+// TestHierarchyMatchesEnumeration diffs every level of the incremental
+// hierarchy build against direct per-k enumeration on the full corpus.
+func TestHierarchyMatchesEnumeration(t *testing.T) {
+	for _, c := range Corpus() {
+		t.Run(c.Name, func(t *testing.T) {
+			CheckHierarchy(t, c.G)
+		})
+	}
+}
+
+// TestAdversarialShapes pins the known connectivity structure of the
+// hand-built graphs, so a generator bug cannot silently weaken the suite.
+func TestAdversarialShapes(t *testing.T) {
+	if got := len(CliqueChain(5, 8, 3).ConnectedComponents()); got != 1 {
+		t.Fatalf("clique chain has %d components", got)
+	}
+	// K_{a,b} has connectivity min(a,b).
+	if kappa := verify.VertexConnectivityBrute(CompleteBipartite(3, 5)); kappa != 3 {
+		t.Fatalf("K_{3,5} connectivity = %d, want 3", kappa)
+	}
+	// The d-hypercube has connectivity d.
+	if kappa := verify.VertexConnectivityBrute(Hypercube(3)); kappa != 3 {
+		t.Fatalf("Q3 connectivity = %d, want 3", kappa)
+	}
+	// A wheel has connectivity 3.
+	if kappa := verify.VertexConnectivityBrute(Wheel(8)); kappa != 3 {
+		t.Fatalf("wheel connectivity = %d, want 3", kappa)
+	}
+	// Two cliques sharing s vertices separate exactly above k = s.
+	g := TwoCliquesSharing(5, 3)
+	if kappa := verify.VertexConnectivityBrute(g); kappa != 3 {
+		t.Fatalf("shared-3 connectivity = %d, want 3", kappa)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"kvcc/graph"
+	"kvcc/hierarchy"
 	"kvcc/internal/core"
 	"kvcc/internal/kcore"
 	"kvcc/internal/kecc"
@@ -79,6 +80,29 @@ func EnumerateContext(ctx context.Context, g *graph.Graph, k int, opts ...Option
 		return nil, err
 	}
 	return &Result{K: k, Components: comps, Stats: *stats}, nil
+}
+
+// BuildHierarchy computes the full cohesion hierarchy of g — every k-VCC
+// for every k — in one incremental pass: level k+1 is enumerated only
+// inside each level-k component (the paper's nesting property), so the
+// whole family costs far less than one enumeration per k. The resulting
+// tree answers Level, Cohesion and Path queries for any k without further
+// enumeration. WithAlgorithm and WithParallelism apply; parallelism fans
+// out across sibling components of each level.
+func BuildHierarchy(g *graph.Graph, opts ...Option) (*hierarchy.Tree, error) {
+	return BuildHierarchyContext(context.Background(), g, opts...)
+}
+
+// BuildHierarchyContext is BuildHierarchy with cancellation.
+func BuildHierarchyContext(ctx context.Context, g *graph.Graph, opts ...Option) (*hierarchy.Tree, error) {
+	options := core.Options{Algorithm: core.VCCEStar}
+	for _, opt := range opts {
+		opt(&options)
+	}
+	return hierarchy.BuildContext(ctx, g, hierarchy.Options{
+		Algorithm:   options.Algorithm,
+		Parallelism: options.Parallelism,
+	})
 }
 
 // ComponentsContaining returns the indices of the components that contain

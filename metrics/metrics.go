@@ -3,7 +3,11 @@
 // density (Eq. 4), and clustering coefficient (Eqs. 5-6).
 package metrics
 
-import "kvcc/graph"
+import (
+	"sort"
+
+	"kvcc/graph"
+)
 
 // Diameter returns the longest shortest path between any pair of vertices
 // (Eq. 1), computed exactly with a BFS from every vertex. Disconnected or
@@ -80,14 +84,23 @@ func countAdjacentAfter(g *graph.Graph, nbrs []int, i int) int {
 }
 
 // ClusteringCoefficient returns C(G) (Eq. 6): the average local
-// clustering coefficient over all vertices.
+// clustering coefficient over all vertices. The sum runs in vertex-label
+// order so the value is a pure function of the labeled graph, not of the
+// internal vertex numbering — the same component reached through
+// different subgraph-induction chains (direct enumeration vs the
+// hierarchy index) must report a bit-identical coefficient.
 func ClusteringCoefficient(g *graph.Graph) float64 {
 	n := g.NumVertices()
 	if n == 0 {
 		return 0
 	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return g.Label(order[i]) < g.Label(order[j]) })
 	sum := 0.0
-	for v := 0; v < n; v++ {
+	for _, v := range order {
 		sum += LocalClustering(g, v)
 	}
 	return sum / float64(n)

@@ -57,23 +57,7 @@ func EnumerateContaining(g *graph.Graph, k int, labels []int64, opts ...Option) 
 }
 
 func addStats(a, b Stats) Stats {
-	a.GlobalCutCalls += b.GlobalCutCalls
-	a.Partitions += b.Partitions
-	a.KCorePeeled += b.KCorePeeled
-	a.FlowRuns += b.FlowRuns
-	a.LocCutTests += b.LocCutTests
-	a.SweptNS1 += b.SweptNS1
-	a.SweptNS2 += b.SweptNS2
-	a.SweptGS += b.SweptGS
-	a.TestedNonPrune += b.TestedNonPrune
-	a.Phase2Pairs += b.Phase2Pairs
-	a.Phase2Skipped += b.Phase2Skipped
-	a.SSVDetected += b.SSVDetected
-	a.SSVInherited += b.SSVInherited
-	a.CutFallbacks += b.CutFallbacks
-	if b.PeakBytes > a.PeakBytes {
-		a.PeakBytes = b.PeakBytes
-	}
+	a.Add(&b)
 	return a
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"kvcc"
 	"kvcc/graph"
+	"kvcc/hierarchy"
 	"kvcc/metrics"
 )
 
@@ -41,17 +42,22 @@ type Component struct {
 	Metrics     *metrics.Summary `json:"metrics,omitempty"`
 }
 
-// EnumerateResponse is the result of one enumerate call.
+// EnumerateResponse is the result of one enumerate call. When IndexServed
+// is set the components came from the hierarchy index and Stats reports
+// the work the index build spent on that level (the query itself ran no
+// enumeration); otherwise Stats describes the enumeration that produced
+// the (possibly cached) result.
 type EnumerateResponse struct {
-	Graph      string            `json:"graph"`
-	K          int               `json:"k"`
-	Algorithm  string            `json:"algorithm"`
-	Cached     bool              `json:"cached"`
-	Deduped    bool              `json:"deduped,omitempty"`
-	ElapsedMS  float64           `json:"elapsed_ms"`
-	Components []Component       `json:"components"`
-	Stats      kvcc.Stats        `json:"stats"`
-	Metrics    *metrics.Averages `json:"avg_metrics,omitempty"`
+	Graph       string            `json:"graph"`
+	K           int               `json:"k"`
+	Algorithm   string            `json:"algorithm"`
+	Cached      bool              `json:"cached"`
+	Deduped     bool              `json:"deduped,omitempty"`
+	IndexServed bool              `json:"index_served,omitempty"`
+	ElapsedMS   float64           `json:"elapsed_ms"`
+	Components  []Component       `json:"components"`
+	Stats       kvcc.Stats        `json:"stats"`
+	Metrics     *metrics.Averages `json:"avg_metrics,omitempty"`
 }
 
 // ContainingRequest asks which k-VCCs contain one vertex label.
@@ -66,15 +72,18 @@ type ContainingRequest struct {
 }
 
 // ContainingResponse lists the matching components. Indices refer to the
-// component order of EnumerateResponse for the same (graph, k, algorithm).
+// component order of EnumerateResponse for the same (graph, k, algorithm);
+// index-served and enumerated results use the same canonical order, so the
+// indices are stable across serving paths.
 type ContainingResponse struct {
-	Graph      string      `json:"graph"`
-	K          int         `json:"k"`
-	Algorithm  string      `json:"algorithm"`
-	Cached     bool        `json:"cached"`
-	Vertex     int64       `json:"vertex"`
-	Indices    []int       `json:"indices"`
-	Components []Component `json:"components"`
+	Graph       string      `json:"graph"`
+	K           int         `json:"k"`
+	Algorithm   string      `json:"algorithm"`
+	Cached      bool        `json:"cached"`
+	IndexServed bool        `json:"index_served,omitempty"`
+	Vertex      int64       `json:"vertex"`
+	Indices     []int       `json:"indices"`
+	Components  []Component `json:"components"`
 }
 
 // OverlapRequest asks for the pairwise overlap matrix of the k-VCCs.
@@ -90,11 +99,112 @@ type OverlapRequest struct {
 // the size of component i. Property 1 of the paper guarantees every
 // off-diagonal entry is below k.
 type OverlapResponse struct {
-	Graph     string  `json:"graph"`
-	K         int     `json:"k"`
-	Algorithm string  `json:"algorithm"`
-	Cached    bool    `json:"cached"`
-	Matrix    [][]int `json:"matrix"`
+	Graph       string  `json:"graph"`
+	K           int     `json:"k"`
+	Algorithm   string  `json:"algorithm"`
+	Cached      bool    `json:"cached"`
+	IndexServed bool    `json:"index_served,omitempty"`
+	Matrix      [][]int `json:"matrix"`
+}
+
+// HierarchyRequest asks for the per-level summary of a graph's cohesion
+// hierarchy. The request blocks (within its timeout) until the graph's
+// index build finishes, starting one on demand if necessary.
+type HierarchyRequest struct {
+	Graph         string `json:"graph"`
+	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+	// IncludeComponents adds the full vertex sets of every level to the
+	// response. Off by default: a deep hierarchy repeats most of the graph
+	// once per level.
+	IncludeComponents bool `json:"include_components,omitempty"`
+}
+
+// HierarchyLevel summarizes one level of the hierarchy.
+type HierarchyLevel struct {
+	K          int `json:"k"`
+	Components int `json:"components"`
+	// Vertices is the total vertex count across the level's components;
+	// a vertex in several k-VCCs is counted once per component.
+	Vertices      int         `json:"vertices"`
+	ComponentSets []Component `json:"component_sets,omitempty"`
+}
+
+// HierarchyResponse summarizes a finished hierarchy index.
+type HierarchyResponse struct {
+	Graph string `json:"graph"`
+	// MaxK is the deepest level with at least one component.
+	MaxK int `json:"max_k"`
+	// Size is the total number of components across all levels.
+	Size int `json:"size"`
+	// Complete reports that the tree was built to exhaustion, so Level(k)
+	// is exact for every k (a MaxK-truncated index reports false).
+	Complete bool             `json:"complete"`
+	BuildMS  float64          `json:"build_ms"`
+	Levels   []HierarchyLevel `json:"levels"`
+	// Stats describes the enumeration work of the index build.
+	Stats hierarchy.Stats `json:"build_stats"`
+}
+
+// CohesionRequest asks for the structural cohesion of up to 1024 vertex
+// labels: the deepest k at which some k-VCC contains each vertex.
+type CohesionRequest struct {
+	Graph         string  `json:"graph"`
+	Vertices      []int64 `json:"vertices"`
+	TimeoutMillis int64   `json:"timeout_ms,omitempty"`
+}
+
+// PathStep is one component on a vertex's nesting chain.
+type PathStep struct {
+	K           int `json:"k"`
+	NumVertices int `json:"num_vertices"`
+	NumEdges    int `json:"num_edges"`
+}
+
+// VertexCohesion is the answer for one queried vertex. Path holds the
+// chain of components containing the vertex from level 1 down to its
+// cohesion level; it is empty when the vertex is in no component.
+type VertexCohesion struct {
+	Vertex   int64      `json:"vertex"`
+	Cohesion int        `json:"cohesion"`
+	Path     []PathStep `json:"path,omitempty"`
+}
+
+// CohesionResponse lists per-vertex cohesion results in request order.
+type CohesionResponse struct {
+	Graph   string           `json:"graph"`
+	Results []VertexCohesion `json:"results"`
+}
+
+// BatchEnumerateRequest asks for the k-VCCs of one graph at up to 64
+// values of k under a single deadline.
+type BatchEnumerateRequest struct {
+	Graph          string `json:"graph"`
+	Ks             []int  `json:"ks"`
+	Algorithm      string `json:"algorithm,omitempty"`
+	TimeoutMillis  int64  `json:"timeout_ms,omitempty"`
+	IncludeMetrics bool   `json:"include_metrics,omitempty"`
+}
+
+// BatchEnumerateResponse carries one EnumerateResponse per requested k,
+// in request order.
+type BatchEnumerateResponse struct {
+	Graph     string              `json:"graph"`
+	Algorithm string              `json:"algorithm"`
+	Results   []EnumerateResponse `json:"results"`
+}
+
+// IndexInfo describes the state of one graph's hierarchy index build.
+type IndexInfo struct {
+	Graph string `json:"graph"`
+	// State is "building", "ready" or "failed".
+	State string `json:"state"`
+	// MaxK is the configured build cap (0 = full depth).
+	MaxK int `json:"max_k,omitempty"`
+	// TreeMaxK, Size, Complete and BuildMS describe a ready index.
+	TreeMaxK int     `json:"tree_max_k,omitempty"`
+	Size     int     `json:"size,omitempty"`
+	Complete bool    `json:"complete,omitempty"`
+	BuildMS  float64 `json:"build_ms,omitempty"`
 }
 
 // GraphInfo describes one graph loaded into the server.
@@ -109,6 +219,7 @@ type StatsResponse struct {
 	Graphs       []GraphInfo `json:"graphs"`
 	Cache        CacheStats  `json:"cache"`
 	Enumerations EnumStats   `json:"enumerations"`
+	Indexes      []IndexInfo `json:"indexes,omitempty"`
 	UptimeMS     float64     `json:"uptime_ms"`
 }
 
@@ -122,6 +233,9 @@ type EnumStats struct {
 	// Deduped counts requests that joined an in-flight enumeration
 	// instead of starting their own.
 	Deduped int64 `json:"deduped"`
+	// IndexServed counts queries answered from a ready hierarchy index
+	// (no cache entry and no enumeration involved).
+	IndexServed int64 `json:"index_served"`
 	// TotalMS and MaxMS aggregate the wall-clock latency of completed
 	// enumerations (cache hits excluded; they are served in microseconds).
 	TotalMS float64 `json:"total_ms"`

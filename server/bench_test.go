@@ -37,6 +37,63 @@ func BenchmarkEnumerateCold(b *testing.B) {
 	}
 }
 
+// BenchmarkAnyKIndexServed measures serving a rotating k from a ready
+// hierarchy index: every iteration asks for a different k, so the LRU
+// cache never helps — only the index does. Compare against
+// BenchmarkAnyKCold, where the same rotating-k workload recomputes every
+// query (a one-entry cache cannot hold more than the last k).
+func BenchmarkAnyKIndexServed(b *testing.B) {
+	s := New(Config{BuildIndex: true})
+	s.AddGraph("bench", benchGraph())
+	ctx := context.Background()
+	hier, err := s.Hierarchy(ctx, HierarchyRequest{Graph: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if hier.MaxK < 3 {
+		b.Fatalf("bench graph too shallow: max k = %d", hier.MaxK)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := 2 + i%hier.MaxK
+		resp, err := s.Enumerate(ctx, EnumerateRequest{Graph: "bench", K: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.IndexServed {
+			b.Fatalf("k=%d missed the index", k)
+		}
+	}
+}
+
+func BenchmarkAnyKCold(b *testing.B) {
+	s := New(Config{CacheSize: 1})
+	g := benchGraph()
+	s.AddGraph("bench", g)
+	ctx := context.Background()
+	tree, err := s.indexFor(ctx, "bench") // depth probe only; the server stays index-less
+	if err != nil {
+		b.Fatal(err)
+	}
+	maxK := tree.tree.MaxK
+	s.invalidateIndex("bench")
+	if maxK < 3 {
+		b.Fatalf("bench graph too shallow: max k = %d", maxK)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := 2 + i%maxK
+		resp, err := s.Enumerate(ctx, EnumerateRequest{Graph: "bench", K: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.IndexServed || resp.Cached {
+			b.Fatalf("k=%d was not recomputed", k)
+		}
+	}
+}
+
 // BenchmarkEnumerateCached measures the hit path: one enumeration primes
 // the cache, then every iteration is a lookup plus wire conversion.
 func BenchmarkEnumerateCached(b *testing.B) {

@@ -53,6 +53,36 @@ func (c *Client) Overlap(ctx context.Context, req OverlapRequest) (*OverlapRespo
 	return &resp, nil
 }
 
+// EnumerateBatch requests the k-VCCs at several values of k in one call.
+func (c *Client) EnumerateBatch(ctx context.Context, req BatchEnumerateRequest) (*BatchEnumerateResponse, error) {
+	var resp BatchEnumerateResponse
+	if err := c.post(ctx, PathEnumerateBatch, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Hierarchy requests the per-level summary of a graph's cohesion
+// hierarchy, waiting (within the request timeout) for the server's index
+// build to finish.
+func (c *Client) Hierarchy(ctx context.Context, req HierarchyRequest) (*HierarchyResponse, error) {
+	var resp HierarchyResponse
+	if err := c.post(ctx, PathHierarchy, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Cohesion requests the structural cohesion (and nesting chain) of one or
+// more vertex labels.
+func (c *Client) Cohesion(ctx context.Context, req CohesionRequest) (*CohesionResponse, error) {
+	var resp CohesionResponse
+	if err := c.post(ctx, PathCohesion, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stats fetches the server's operational snapshot.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var resp StatsResponse

@@ -10,19 +10,25 @@ import (
 
 // API routes served by Handler. The Client uses the same constants.
 const (
-	PathEnumerate  = "/api/v1/enumerate"
-	PathContaining = "/api/v1/components-containing"
-	PathOverlap    = "/api/v1/overlap"
-	PathStats      = "/api/v1/stats"
-	PathGraphs     = "/api/v1/graphs"
-	PathHealth     = "/healthz"
+	PathEnumerate      = "/api/v1/enumerate"
+	PathEnumerateBatch = "/api/v1/enumerate-batch"
+	PathContaining     = "/api/v1/components-containing"
+	PathOverlap        = "/api/v1/overlap"
+	PathHierarchy      = "/api/v1/hierarchy"
+	PathCohesion       = "/api/v1/cohesion"
+	PathStats          = "/api/v1/stats"
+	PathGraphs         = "/api/v1/graphs"
+	PathHealth         = "/healthz"
 )
 
 // Handler returns the HTTP API of the server:
 //
-//	POST /api/v1/enumerate              EnumerateRequest  -> EnumerateResponse
-//	POST /api/v1/components-containing  ContainingRequest -> ContainingResponse
-//	POST /api/v1/overlap                OverlapRequest    -> OverlapResponse
+//	POST /api/v1/enumerate              EnumerateRequest       -> EnumerateResponse
+//	POST /api/v1/enumerate-batch        BatchEnumerateRequest  -> BatchEnumerateResponse
+//	POST /api/v1/components-containing  ContainingRequest      -> ContainingResponse
+//	POST /api/v1/overlap                OverlapRequest         -> OverlapResponse
+//	POST /api/v1/hierarchy              HierarchyRequest       -> HierarchyResponse
+//	POST /api/v1/cohesion               CohesionRequest        -> CohesionResponse
 //	GET  /api/v1/stats                  -> StatsResponse
 //	GET  /api/v1/graphs                 -> []GraphInfo
 //	GET  /healthz                       -> "ok"
@@ -38,6 +44,30 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		resp, err := s.Enumerate(r.Context(), req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("POST "+PathEnumerateBatch, func(w http.ResponseWriter, r *http.Request) {
+		var req BatchEnumerateRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.EnumerateBatch(r.Context(), req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("POST "+PathHierarchy, func(w http.ResponseWriter, r *http.Request) {
+		var req HierarchyRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.Hierarchy(r.Context(), req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("POST "+PathCohesion, func(w http.ResponseWriter, r *http.Request) {
+		var req CohesionRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := s.Cohesion(r.Context(), req)
 		respond(w, resp, err)
 	})
 	mux.HandleFunc("POST "+PathContaining, func(w http.ResponseWriter, r *http.Request) {

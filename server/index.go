@@ -1,0 +1,301 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"kvcc"
+	"kvcc/hierarchy"
+)
+
+// graphIndex is one hierarchy-index build for one (graph, generation)
+// pair. The build runs in a background goroutine; ready is closed when it
+// finishes, after which tree/err/buildMS are immutable. A replaced graph
+// cancels its index build via cancel, so a stale build can never serve
+// queries: lookups always match the generation first.
+type graphIndex struct {
+	graph  string
+	gen    uint64
+	maxK   int // Options.MaxK the build uses (0 = full depth)
+	ready  chan struct{}
+	cancel context.CancelFunc
+
+	// Written once before ready is closed.
+	tree    *hierarchy.Tree
+	err     error
+	buildMS float64
+}
+
+// done reports whether the build has finished, without blocking.
+func (ix *graphIndex) done() bool {
+	select {
+	case <-ix.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// invalidateIndex unconditionally cancels and drops the index for name.
+func (s *Server) invalidateIndex(name string) {
+	s.indexMu.Lock()
+	ix := s.indexes[name]
+	delete(s.indexes, name)
+	s.indexMu.Unlock()
+	if ix != nil {
+		ix.cancel()
+	}
+}
+
+// retireIndex drops the index for name only if it belongs to a
+// generation older than gen. The generation guard makes concurrent
+// AddGraph calls commute: the call that lost the registry race (its
+// generation is older) can neither cancel the winner's build nor
+// install its own over it (see resetIndex).
+func (s *Server) retireIndex(name string, gen uint64) {
+	s.indexMu.Lock()
+	ix := s.indexes[name]
+	if ix != nil && ix.gen < gen {
+		delete(s.indexes, name)
+	} else {
+		ix = nil
+	}
+	s.indexMu.Unlock()
+	if ix != nil {
+		ix.cancel()
+	}
+}
+
+// resetIndex retires any older-generation build and starts one for e
+// unless a build of e's generation or newer is already installed.
+func (s *Server) resetIndex(name string, e graphEntry) {
+	s.retireIndex(name, e.gen)
+	s.indexMu.Lock()
+	if cur := s.indexes[name]; cur == nil || cur.gen < e.gen {
+		s.startIndexBuildLocked(name, e)
+	}
+	s.indexMu.Unlock()
+}
+
+// startIndexBuildLocked launches the background hierarchy build for one
+// graph entry and installs it in the index table, cancelling any build it
+// displaces (once evicted from the table a build is unreachable by
+// retireIndex, so this is its only cancellation point). Callers hold
+// indexMu.
+func (s *Server) startIndexBuildLocked(name string, e graphEntry) *graphIndex {
+	if old := s.indexes[name]; old != nil {
+		old.cancel()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.IndexBuildTimeout)
+	ix := &graphIndex{
+		graph:  name,
+		gen:    e.gen,
+		maxK:   s.cfg.IndexMaxK,
+		ready:  make(chan struct{}),
+		cancel: cancel,
+	}
+	s.indexes[name] = ix
+	go func() {
+		defer cancel()
+		begin := time.Now()
+		tree, err := hierarchy.BuildContext(ctx, e.g, hierarchy.Options{
+			MaxK:        ix.maxK,
+			Parallelism: s.cfg.Parallelism,
+		})
+		ix.buildMS = float64(time.Since(begin)) / float64(time.Millisecond)
+		ix.tree, ix.err = tree, err
+		close(ix.ready)
+	}()
+	return ix
+}
+
+// indexTree returns the ready hierarchy for (name, gen), or nil when no
+// matching build has completed successfully. Non-blocking: the enumerate
+// fast path uses it to opportunistically serve from the index while a
+// build in progress falls back to the cache/singleflight path.
+func (s *Server) indexTree(name string, gen uint64) *hierarchy.Tree {
+	s.indexMu.Lock()
+	ix := s.indexes[name]
+	s.indexMu.Unlock()
+	if ix == nil || ix.gen != gen || !ix.done() || ix.err != nil {
+		return nil
+	}
+	return ix.tree
+}
+
+// indexFor returns the finished index for the named graph, starting a
+// build on demand if none matches the current generation, and waiting for
+// completion within ctx. This is the blocking path behind the hierarchy
+// and cohesion endpoints, which exist only in terms of the index. A build
+// that completed with an error (e.g. it hit IndexBuildTimeout) is not
+// cached: the next request starts a fresh build rather than replaying the
+// stale failure forever. An index of a newer generation than this
+// caller's lookup is used as-is — newer is the current graph.
+func (s *Server) indexFor(ctx context.Context, name string) (*graphIndex, error) {
+	entry, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	s.indexMu.Lock()
+	ix := s.indexes[name]
+	if ix == nil || ix.gen < entry.gen || (ix.gen == entry.gen && ix.done() && ix.err != nil) {
+		ix = s.startIndexBuildLocked(name, entry)
+	}
+	s.indexMu.Unlock()
+	select {
+	case <-ix.ready:
+		if ix.err != nil {
+			return nil, fmt.Errorf("server: index build for %q: %w", name, ix.err)
+		}
+		return ix, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// resultFromIndex materializes a kvcc.Result for level k of a finished
+// hierarchy. Components come out in the exact canonical order (and with
+// the exact vertex sets) a direct enumeration would produce; Stats reports
+// the work the index build spent producing that level, which is the only
+// honest attribution for a query that ran no enumeration at all.
+func resultFromIndex(tree *hierarchy.Tree, k int) *kvcc.Result {
+	res := &kvcc.Result{K: k, Components: tree.LevelComponents(k)}
+	for _, lvl := range tree.Stats.PerLevel {
+		if lvl.K == k {
+			res.Stats = lvl.Core
+			break
+		}
+	}
+	return res
+}
+
+// Hierarchy serves one hierarchy request: a per-level summary of the
+// graph's full cohesion tree, building the index on demand when it is not
+// already (being) built.
+func (s *Server) Hierarchy(ctx context.Context, req HierarchyRequest) (*HierarchyResponse, error) {
+	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	defer cancel()
+	ix, err := s.indexFor(ctx, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	tree := ix.tree
+	resp := &HierarchyResponse{
+		Graph:    req.Graph,
+		MaxK:     tree.MaxK,
+		Size:     tree.Size(),
+		Complete: tree.Covers(tree.MaxK + 1),
+		BuildMS:  ix.buildMS,
+		Stats:    tree.Stats,
+	}
+	for k := 1; k <= tree.MaxK; k++ {
+		level := tree.LevelComponents(k)
+		vertices := 0
+		for _, c := range level {
+			vertices += c.NumVertices()
+		}
+		lvl := HierarchyLevel{K: k, Components: len(level), Vertices: vertices}
+		if req.IncludeComponents {
+			lvl.ComponentSets = wireComponents(level, false)
+		}
+		resp.Levels = append(resp.Levels, lvl)
+	}
+	return resp, nil
+}
+
+// Cohesion serves one cohesion request: for each queried vertex label, the
+// deepest k at which a k-VCC contains it, plus the nesting chain of
+// components down to that level.
+func (s *Server) Cohesion(ctx context.Context, req CohesionRequest) (*CohesionResponse, error) {
+	if len(req.Vertices) == 0 {
+		return nil, fmt.Errorf("%w: cohesion request needs at least one vertex", ErrBadRequest)
+	}
+	if len(req.Vertices) > maxCohesionVertices {
+		return nil, fmt.Errorf("%w: at most %d vertices per cohesion request, got %d",
+			ErrBadRequest, maxCohesionVertices, len(req.Vertices))
+	}
+	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	defer cancel()
+	ix, err := s.indexFor(ctx, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	resp := &CohesionResponse{Graph: req.Graph}
+	for _, v := range req.Vertices {
+		vc := VertexCohesion{Vertex: v, Cohesion: ix.tree.Cohesion(v)}
+		for _, n := range ix.tree.Path(v) {
+			vc.Path = append(vc.Path, PathStep{
+				K:           n.K,
+				NumVertices: n.Component.NumVertices(),
+				NumEdges:    n.Component.NumEdges(),
+			})
+		}
+		resp.Results = append(resp.Results, vc)
+	}
+	return resp, nil
+}
+
+// EnumerateBatch serves one multi-k enumerate request under a single
+// deadline. Each k goes through the same serving ladder as a standalone
+// enumerate (index, then cache, then singleflight enumeration), so a batch
+// against an indexed graph is answered entirely from the tree.
+func (s *Server) EnumerateBatch(ctx context.Context, req BatchEnumerateRequest) (*BatchEnumerateResponse, error) {
+	algo, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if len(req.Ks) == 0 {
+		return nil, fmt.Errorf("%w: batch request needs at least one k", ErrBadRequest)
+	}
+	if len(req.Ks) > maxBatchKs {
+		return nil, fmt.Errorf("%w: at most %d values of k per batch, got %d",
+			ErrBadRequest, maxBatchKs, len(req.Ks))
+	}
+	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	defer cancel()
+
+	resp := &BatchEnumerateResponse{Graph: req.Graph, Algorithm: algo.String()}
+	for _, k := range req.Ks {
+		begin := time.Now()
+		res, src, err := s.result(ctx, req.Graph, k, algo)
+		if err != nil {
+			return nil, fmt.Errorf("k=%d: %w", k, err)
+		}
+		resp.Results = append(resp.Results,
+			buildEnumerateResponse(req.Graph, k, algo, res, src, begin, req.IncludeMetrics))
+	}
+	return resp, nil
+}
+
+// Request-size guardrails for the index endpoints.
+const (
+	maxCohesionVertices = 1024
+	maxBatchKs          = 64
+)
+
+// indexInfos snapshots the state of every index build for Stats.
+func (s *Server) indexInfos() []IndexInfo {
+	s.indexMu.Lock()
+	defer s.indexMu.Unlock()
+	out := make([]IndexInfo, 0, len(s.indexes))
+	for name, ix := range s.indexes {
+		info := IndexInfo{Graph: name, MaxK: ix.maxK}
+		switch {
+		case !ix.done():
+			info.State = "building"
+		case ix.err != nil:
+			info.State = "failed"
+		default:
+			info.State = "ready"
+			info.Size = ix.tree.Size()
+			info.TreeMaxK = ix.tree.MaxK
+			info.Complete = ix.tree.Covers(ix.tree.MaxK + 1)
+			info.BuildMS = ix.buildMS
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Graph < out[j].Graph })
+	return out
+}

@@ -1,18 +1,24 @@
 // Package server turns the one-shot k-VCC enumeration library into a
 // long-running query service. A Server holds a registry of immutable
-// named graphs, an LRU cache of enumeration results keyed by
-// (graph, k, algorithm), and a singleflight layer that collapses
-// concurrent identical requests into one computation. On top of that it
-// exposes an HTTP/JSON API (see Handler) with per-request timeouts; the
-// Client type in this package speaks the same wire format.
+// named graphs, a per-graph hierarchy index (the full k-VCC cohesion
+// tree, built once in the background), an LRU cache of enumeration
+// results keyed by (graph, k, algorithm), and a singleflight layer that
+// collapses concurrent identical requests into one computation. On top of
+// that it exposes an HTTP/JSON API (see Handler) with per-request
+// timeouts; the Client type in this package speaks the same wire format.
 //
-// The cache is sound because an enumeration is a pure function of its
-// key: graphs are never mutated after registration, and the four
-// algorithm variants (Section 6.2 of the paper) produce identical
-// component sets — they differ only in pruning work. A repeated query is
-// therefore served from memory without re-running the algorithm, and the
-// derived endpoints (components-containing, overlap) are cheap
-// post-processing over the same cached result.
+// Requests descend a serving ladder: a ready hierarchy index answers any
+// covered k instantly; otherwise the cache answers repeats; otherwise one
+// flight leader runs the enumeration while identical requests wait. Every
+// rung is sound because an enumeration is a pure function of its key:
+// graphs are never mutated after registration, the four algorithm
+// variants (Section 6.2 of the paper) produce identical component sets —
+// they differ only in pruning work — and a finished hierarchy level holds
+// exactly the k-VCCs of the graph in the same canonical order a direct
+// enumeration returns. Replacing a graph bumps its generation, which
+// simultaneously invalidates the cache entries and the index for the old
+// graph. The derived endpoints (components-containing, overlap, cohesion,
+// batch enumerate) are cheap post-processing over the same results.
 package server
 
 import (
@@ -61,6 +67,22 @@ type Config struct {
 	// Parallelism is passed through to kvcc.WithParallelism for every
 	// enumeration (default 1: deterministic serial execution).
 	Parallelism int
+	// BuildIndex starts a background hierarchy-index build for every
+	// graph as it is registered. Once a graph's index is ready, enumerate
+	// and components-containing queries for any covered k are served from
+	// the tree without touching the cache or running an enumeration; until
+	// then they fall back to the cache/singleflight path. The hierarchy
+	// and cohesion endpoints build the index on demand regardless of this
+	// flag — BuildIndex only controls eager builds at registration time.
+	BuildIndex bool
+	// IndexMaxK truncates index builds at this level (0 = build the full
+	// hierarchy until a level is empty). A truncated index serves only
+	// k <= IndexMaxK; deeper queries fall back to direct enumeration.
+	IndexMaxK int
+	// IndexBuildTimeout bounds one hierarchy-index build (default 10m).
+	// It is independent of ComputeTimeout because an index build covers
+	// every level, not one k.
+	IndexBuildTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ComputeTimeout <= 0 {
 		c.ComputeTimeout = 5 * time.Minute
+	}
+	if c.IndexBuildTimeout <= 0 {
+		c.IndexBuildTimeout = 10 * time.Minute
 	}
 	return c
 }
@@ -88,6 +113,9 @@ type Server struct {
 	mu      sync.Mutex
 	graphs  map[string]graphEntry
 	nextGen uint64
+
+	indexMu sync.Mutex
+	indexes map[string]*graphIndex
 
 	statsMu sync.Mutex
 	enum    EnumStats
@@ -111,25 +139,34 @@ var testHookEnumerateStarted func()
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:    cfg,
-		cache:  newResultCache(cfg.CacheSize),
-		flight: newFlightGroup(),
-		start:  time.Now(),
-		graphs: make(map[string]graphEntry),
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheSize),
+		flight:  newFlightGroup(),
+		start:   time.Now(),
+		graphs:  make(map[string]graphEntry),
+		indexes: make(map[string]*graphIndex),
 	}
 }
 
 // AddGraph registers g under name, replacing any previous graph with that
-// name and invalidating its cached results. The server treats g as
-// immutable from this point on; callers must not modify it.
+// name and invalidating its cached results and hierarchy index. The
+// server treats g as immutable from this point on; callers must not
+// modify it. With Config.BuildIndex set, a background hierarchy-index
+// build starts immediately.
 func (s *Server) AddGraph(name string, g *graph.Graph) {
 	s.mu.Lock()
 	_, replaced := s.graphs[name]
 	s.nextGen++
-	s.graphs[name] = graphEntry{g: g, gen: s.nextGen}
+	entry := graphEntry{g: g, gen: s.nextGen}
+	s.graphs[name] = entry
 	s.mu.Unlock()
 	if replaced {
 		s.cache.invalidateGraph(name)
+	}
+	if s.cfg.BuildIndex {
+		s.resetIndex(name, entry)
+	} else {
+		s.retireIndex(name, entry.gen)
 	}
 }
 
@@ -178,25 +215,46 @@ func (s *Server) requestContext(ctx context.Context, timeoutMillis int64) (conte
 	return context.WithTimeout(ctx, timeout)
 }
 
-// result is the heart of the server: cache lookup, then singleflight
-// around the actual enumeration. It reports whether the result came from
-// the cache and whether this caller piggybacked on an in-flight
-// computation.
-func (s *Server) result(ctx context.Context, graphName string, k int, algo kvcc.Algorithm) (res *kvcc.Result, cached, deduped bool, err error) {
+// resultSource identifies which rung of the serving ladder answered a
+// request: the hierarchy index, the result cache, an in-flight
+// enumeration this caller joined, or a fresh enumeration it led.
+type resultSource int
+
+const (
+	srcComputed resultSource = iota
+	srcCache
+	srcDeduped
+	srcIndex
+)
+
+// result is the heart of the server: a serving ladder of hierarchy index,
+// cache lookup, then singleflight around the actual enumeration. The
+// index rung is sound because a finished hierarchy level holds exactly
+// the k-VCCs a direct enumeration returns, in the same canonical order,
+// for any algorithm variant (all four are exact); the generation check
+// keeps a replaced graph's index from ever answering.
+func (s *Server) result(ctx context.Context, graphName string, k int, algo kvcc.Algorithm) (res *kvcc.Result, src resultSource, err error) {
 	if k < 2 {
-		return nil, false, false, fmt.Errorf("%w: k must be >= 2, got %d", ErrBadRequest, k)
+		return nil, srcComputed, fmt.Errorf("%w: k must be >= 2, got %d", ErrBadRequest, k)
 	}
 	if s.cfg.MaxK > 0 && k > s.cfg.MaxK {
-		return nil, false, false, fmt.Errorf("%w: k %d exceeds server limit %d", ErrBadRequest, k, s.cfg.MaxK)
+		return nil, srcComputed, fmt.Errorf("%w: k %d exceeds server limit %d", ErrBadRequest, k, s.cfg.MaxK)
 	}
 	entry, err := s.lookup(graphName)
 	if err != nil {
-		return nil, false, false, err
+		return nil, srcComputed, err
+	}
+
+	if tree := s.indexTree(graphName, entry.gen); tree != nil && tree.Covers(k) {
+		s.statsMu.Lock()
+		s.enum.IndexServed++
+		s.statsMu.Unlock()
+		return resultFromIndex(tree, k), srcIndex, nil
 	}
 
 	key := cacheKey{graph: graphName, gen: entry.gen, k: k, algo: algo}
 	if res, ok := s.cache.get(key); ok {
-		return res, true, false, nil
+		return res, srcCache, nil
 	}
 
 	// Double-check inside the flight: this caller may have missed the
@@ -205,7 +263,7 @@ func (s *Server) result(ctx context.Context, graphName string, k int, algo kvcc.
 	// caller's own closure, and flight.do's completion channel orders the
 	// write before the read.
 	var lateHit bool
-	res, deduped, err = s.flight.do(ctx, key, func() (*kvcc.Result, error) {
+	res, deduped, err := s.flight.do(ctx, key, func() (*kvcc.Result, error) {
 		if r, ok := s.cache.getIfPresent(key); ok {
 			lateHit = true
 			return r, nil
@@ -213,12 +271,15 @@ func (s *Server) result(ctx context.Context, graphName string, k int, algo kvcc.
 		return s.enumerate(key, entry.g)
 	})
 	if err != nil {
-		return nil, false, false, err
+		return nil, srcComputed, err
 	}
 	if lateHit {
-		return res, true, false, nil
+		return res, srcCache, nil
 	}
-	return res, false, deduped, nil
+	if deduped {
+		return res, srcDeduped, nil
+	}
+	return res, srcComputed, nil
 }
 
 // enumerate runs one cache-filling enumeration as the flight leader, on a
@@ -277,25 +338,34 @@ func (s *Server) Enumerate(ctx context.Context, req EnumerateRequest) (*Enumerat
 	defer cancel()
 
 	begin := time.Now()
-	res, cached, deduped, err := s.result(ctx, req.Graph, req.K, algo)
+	res, src, err := s.result(ctx, req.Graph, req.K, algo)
 	if err != nil {
 		return nil, err
 	}
-	resp := &EnumerateResponse{
-		Graph:      req.Graph,
-		K:          req.K,
-		Algorithm:  algo.String(),
-		Cached:     cached,
-		Deduped:    deduped,
-		ElapsedMS:  float64(time.Since(begin)) / float64(time.Millisecond),
-		Components: wireComponents(res.Components, req.IncludeMetrics),
-		Stats:      res.Stats,
+	resp := buildEnumerateResponse(req.Graph, req.K, algo, res, src, begin, req.IncludeMetrics)
+	return &resp, nil
+}
+
+// buildEnumerateResponse assembles the wire response for one (graph, k)
+// result; Enumerate and EnumerateBatch share it so the two endpoints can
+// never diverge field by field.
+func buildEnumerateResponse(graphName string, k int, algo kvcc.Algorithm, res *kvcc.Result, src resultSource, begin time.Time, includeMetrics bool) EnumerateResponse {
+	resp := EnumerateResponse{
+		Graph:       graphName,
+		K:           k,
+		Algorithm:   algo.String(),
+		Cached:      src == srcCache,
+		Deduped:     src == srcDeduped,
+		IndexServed: src == srcIndex,
+		ElapsedMS:   float64(time.Since(begin)) / float64(time.Millisecond),
+		Components:  wireComponents(res.Components, includeMetrics),
+		Stats:       res.Stats,
 	}
-	if req.IncludeMetrics {
+	if includeMetrics {
 		avg := averageComponents(res.Components)
 		resp.Metrics = &avg
 	}
-	return resp, nil
+	return resp
 }
 
 // ComponentsContaining serves one components-containing request: the
@@ -308,7 +378,7 @@ func (s *Server) ComponentsContaining(ctx context.Context, req ContainingRequest
 	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
 	defer cancel()
 
-	res, cached, _, err := s.result(ctx, req.Graph, req.K, algo)
+	res, src, err := s.result(ctx, req.Graph, req.K, algo)
 	if err != nil {
 		return nil, err
 	}
@@ -318,13 +388,14 @@ func (s *Server) ComponentsContaining(ctx context.Context, req ContainingRequest
 		comps[i] = wireComponent(res.Components[idx], false)
 	}
 	return &ContainingResponse{
-		Graph:      req.Graph,
-		K:          req.K,
-		Algorithm:  algo.String(),
-		Cached:     cached,
-		Vertex:     req.Vertex,
-		Indices:    indices,
-		Components: comps,
+		Graph:       req.Graph,
+		K:           req.K,
+		Algorithm:   algo.String(),
+		Cached:      src == srcCache,
+		IndexServed: src == srcIndex,
+		Vertex:      req.Vertex,
+		Indices:     indices,
+		Components:  comps,
 	}, nil
 }
 
@@ -338,16 +409,17 @@ func (s *Server) Overlap(ctx context.Context, req OverlapRequest) (*OverlapRespo
 	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
 	defer cancel()
 
-	res, cached, _, err := s.result(ctx, req.Graph, req.K, algo)
+	res, src, err := s.result(ctx, req.Graph, req.K, algo)
 	if err != nil {
 		return nil, err
 	}
 	return &OverlapResponse{
-		Graph:     req.Graph,
-		K:         req.K,
-		Algorithm: algo.String(),
-		Cached:    cached,
-		Matrix:    res.OverlapMatrix(),
+		Graph:       req.Graph,
+		K:           req.K,
+		Algorithm:   algo.String(),
+		Cached:      src == srcCache,
+		IndexServed: src == srcIndex,
+		Matrix:      res.OverlapMatrix(),
 	}, nil
 }
 
@@ -361,6 +433,7 @@ func (s *Server) Stats() *StatsResponse {
 		Graphs:       s.Graphs(),
 		Cache:        s.cache.stats(),
 		Enumerations: enum,
+		Indexes:      s.indexInfos(),
 		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
 	}
 }
