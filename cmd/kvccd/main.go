@@ -11,7 +11,9 @@
 //	      [-request-timeout 30s] [-compute-timeout 5m] [-demo] [-selftest]
 //
 // -graph name=path registers an edge list under a query name and may be
-// repeated. -index precomputes the full k-VCC cohesion tree of every
+// repeated; files are ingested through graphio's two-pass streaming
+// loader, which builds the CSR graph in place so multi-million-edge SNAP
+// exports load with bounded memory. -index precomputes the full k-VCC cohesion tree of every
 // graph in the background at startup; once ready, enumerate queries for
 // any k are answered from the tree instead of running the algorithm
 // (hierarchy and cohesion queries build the index on demand either way).

@@ -33,6 +33,23 @@ func BenchmarkInducedSubgraph(b *testing.B) {
 	}
 }
 
+// BenchmarkInducedSubgraphScratch is the extraction as the enumeration hot
+// loop runs it: renumbering buffers reused across calls.
+func BenchmarkInducedSubgraphScratch(b *testing.B) {
+	g := benchGraph(2000, 0.01, 1)
+	vs := make([]int, 0, 1000)
+	for v := 0; v < 1000; v++ {
+		vs = append(vs, v*2)
+	}
+	var s Scratch
+	g.InducedSubgraphScratch(vs, &s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.InducedSubgraphScratch(vs, &s)
+	}
+}
+
 // BenchmarkConnectedComponents measures the per-level component split.
 func BenchmarkConnectedComponents(b *testing.B) {
 	g := benchGraph(5000, 0.001, 2)

@@ -5,10 +5,15 @@ package graph
 // numbered in first-mention order. Duplicate edges and self-loops are
 // silently dropped at Build time, matching how raw edge lists (e.g. SNAP
 // exports) are normally cleaned.
+//
+// Internally the Builder keeps a flat endpoint list instead of per-vertex
+// adjacency slices, so accumulation costs amortized O(1) per edge with no
+// per-vertex allocation, and Build assembles the CSR arrays with one
+// counting-sort pass.
 type Builder struct {
 	index  map[int64]int
 	labels []int64
-	adj    [][]int
+	eu, ev []int // endpoints of the accumulated edges (parallel slices)
 }
 
 // NewBuilder returns a Builder with capacity hints for n vertices.
@@ -16,7 +21,6 @@ func NewBuilder(n int) *Builder {
 	return &Builder{
 		index:  make(map[int64]int, n),
 		labels: make([]int64, 0, n),
-		adj:    make([][]int, 0, n),
 	}
 }
 
@@ -28,7 +32,6 @@ func (b *Builder) AddVertex(l int64) int {
 	v := len(b.labels)
 	b.index[l] = v
 	b.labels = append(b.labels, l)
-	b.adj = append(b.adj, nil)
 	return v
 }
 
@@ -40,8 +43,8 @@ func (b *Builder) AddEdge(lu, lv int64) {
 	}
 	u := b.AddVertex(lu)
 	v := b.AddVertex(lv)
-	b.adj[u] = append(b.adj[u], v)
-	b.adj[v] = append(b.adj[v], u)
+	b.eu = append(b.eu, u)
+	b.ev = append(b.ev, v)
 }
 
 // NumVertices returns the number of vertices added so far.
@@ -50,8 +53,12 @@ func (b *Builder) NumVertices() int { return len(b.labels) }
 // Build normalizes the accumulated data into a Graph. The Builder must not
 // be used afterwards.
 func (b *Builder) Build() *Graph {
-	m := normalize(b.adj)
-	g := &Graph{adj: b.adj, labels: b.labels, m: m}
-	b.adj, b.labels, b.index = nil, nil, nil
+	offsets, flat, m := buildCSR(len(b.labels), func(pair func(u, v int)) {
+		for i := range b.eu {
+			pair(b.eu[i], b.ev[i])
+		}
+	})
+	g := &Graph{offsets: offsets, edges: flat, labels: b.labels, m: m}
+	b.eu, b.ev, b.labels, b.index = nil, nil, nil, nil
 	return g
 }

@@ -1,0 +1,126 @@
+package graph
+
+import "fmt"
+
+// CSRBuilder assembles a Graph directly into CSR form from two passes over
+// an edge stream, without ever materializing an intermediate edge slice:
+// the counting pass (CountEdge) sizes every vertex's run, then the
+// placement pass (PlaceEdge) writes each endpoint straight into its final
+// slot. Between the passes, BeginPlacement performs the only two large
+// allocations (offsets and the flat edge array). This is the construction
+// path for streaming ingestion of multi-million-edge files, where holding
+// a [][2]int edge list alongside the graph would double peak memory.
+//
+// Vertices are interned in first-mention order of the counting pass,
+// matching Builder, so a CSRBuilder-built graph is identical to a
+// Builder-built graph over the same stream. Self-loops are dropped by both
+// passes; duplicate edges are dropped by Build.
+type CSRBuilder struct {
+	index   map[int64]int
+	labels  []int64
+	deg     []int // counting pass: per-vertex degree; placement pass: write cursor
+	offsets []int
+	edges   []int
+	placing bool
+	counted int // edges accepted by the counting pass
+	placed  int // edges accepted by the placement pass
+}
+
+// NewCSRBuilder returns an empty CSRBuilder in its counting pass.
+func NewCSRBuilder() *CSRBuilder {
+	return &CSRBuilder{index: make(map[int64]int, 1024)}
+}
+
+func (b *CSRBuilder) intern(l int64) int {
+	if v, ok := b.index[l]; ok {
+		return v
+	}
+	v := len(b.labels)
+	b.index[l] = v
+	b.labels = append(b.labels, l)
+	b.deg = append(b.deg, 0)
+	return v
+}
+
+// CountEdge records one undirected edge during the counting pass.
+// Self-loops are dropped, matching Builder.AddEdge.
+func (b *CSRBuilder) CountEdge(lu, lv int64) {
+	if b.placing {
+		panic("graph: CountEdge after BeginPlacement")
+	}
+	if lu == lv {
+		return
+	}
+	u := b.intern(lu)
+	v := b.intern(lv)
+	b.deg[u]++
+	b.deg[v]++
+	b.counted++
+}
+
+// NumVertices returns the number of vertices interned so far.
+func (b *CSRBuilder) NumVertices() int { return len(b.labels) }
+
+// BeginPlacement ends the counting pass: it allocates the CSR arrays sized
+// by the counted degrees and switches the builder to the placement pass.
+func (b *CSRBuilder) BeginPlacement() {
+	if b.placing {
+		panic("graph: BeginPlacement called twice")
+	}
+	n := len(b.labels)
+	b.offsets = make([]int, n+1)
+	for v := 0; v < n; v++ {
+		b.offsets[v+1] = b.offsets[v] + b.deg[v]
+	}
+	b.edges = make([]int, b.offsets[n])
+	copy(b.deg, b.offsets[:n]) // deg becomes the per-vertex write cursor
+	b.placing = true
+}
+
+// PlaceEdge writes one undirected edge into its counted slots during the
+// placement pass. It fails if the edge stream diverged from the counting
+// pass: an endpoint never interned, or more edges than were counted.
+func (b *CSRBuilder) PlaceEdge(lu, lv int64) error {
+	if !b.placing {
+		return fmt.Errorf("graph: PlaceEdge before BeginPlacement")
+	}
+	if lu == lv {
+		return nil
+	}
+	u, ok := b.index[lu]
+	if !ok {
+		return fmt.Errorf("graph: placement pass saw uncounted vertex %d", lu)
+	}
+	v, ok := b.index[lv]
+	if !ok {
+		return fmt.Errorf("graph: placement pass saw uncounted vertex %d", lv)
+	}
+	if b.deg[u] >= b.offsets[u+1] {
+		return fmt.Errorf("graph: placement pass overflows vertex %d (stream changed between passes?)", lu)
+	}
+	if b.deg[v] >= b.offsets[v+1] {
+		return fmt.Errorf("graph: placement pass overflows vertex %d (stream changed between passes?)", lv)
+	}
+	b.edges[b.deg[u]] = v
+	b.deg[u]++
+	b.edges[b.deg[v]] = u
+	b.deg[v]++
+	b.placed++
+	return nil
+}
+
+// Build normalizes the placed edges (sorting runs, dropping duplicates)
+// into a Graph. It fails if the placement pass delivered fewer edges than
+// the counting pass promised. The builder must not be used afterwards.
+func (b *CSRBuilder) Build() (*Graph, error) {
+	if !b.placing {
+		return nil, fmt.Errorf("graph: Build before BeginPlacement")
+	}
+	if b.placed != b.counted {
+		return nil, fmt.Errorf("graph: placement pass delivered %d edges, counting pass saw %d", b.placed, b.counted)
+	}
+	flat, m := normalizeCSR(b.offsets, b.edges)
+	g := &Graph{offsets: b.offsets, edges: flat, labels: b.labels, m: m}
+	b.index, b.labels, b.deg, b.offsets, b.edges = nil, nil, nil, nil, nil
+	return g, nil
+}

@@ -291,8 +291,8 @@ func TestCloneIndependent(t *testing.T) {
 	if c.NumVertices() != 4 || c.NumEdges() != 4 {
 		t.Fatalf("clone = %v", c)
 	}
-	c.adj[0][0] = 99
-	if g.adj[0][0] == 99 {
+	c.edges[0] = 99
+	if g.edges[0] == 99 {
 		t.Fatal("clone shares adjacency storage")
 	}
 }

@@ -1,37 +1,68 @@
 package graph
 
-import "sort"
-
 // InducedSubgraph returns the subgraph induced by the given vertex ids.
 // Vertices are renumbered 0..len(vs)-1 in the order given; labels carry
 // over, so identity is preserved across nested inductions. Duplicate ids in
 // vs are rejected by panic (they would corrupt the renumbering).
+//
+// Callers extracting many subgraphs in a loop should reuse a Scratch via
+// InducedSubgraphScratch to amortize the renumbering buffers.
 func (g *Graph) InducedSubgraph(vs []int) *Graph {
+	// A fresh Scratch zeroes two parent-sized arrays; when the subset is
+	// far smaller than the parent that dominates the cost of the
+	// extraction itself, so renumber through a map instead.
+	if 8*len(vs) < g.NumVertices() {
+		return g.inducedSubgraphMap(vs)
+	}
+	var s Scratch
+	return g.InducedSubgraphScratch(vs, &s)
+}
+
+// inducedSubgraphMap is the extraction path for subsets far smaller than
+// the parent: O(len(vs)) auxiliary space instead of O(parent n).
+func (g *Graph) inducedSubgraphMap(vs []int) *Graph {
 	remap := make(map[int]int, len(vs))
 	labels := make([]int64, len(vs))
+	ascending := true
+	prev := -1
 	for i, v := range vs {
 		if _, dup := remap[v]; dup {
 			panic("graph: duplicate vertex in InducedSubgraph")
 		}
 		remap[v] = i
 		labels[i] = g.labels[v]
+		if v < prev {
+			ascending = false
+		}
+		prev = v
 	}
-	adj := make([][]int, len(vs))
-	m := 0
+	offsets := make([]int, len(vs)+1)
 	for i, v := range vs {
-		var nbrs []int
-		for _, w := range g.adj[v] {
-			if j, ok := remap[w]; ok {
-				nbrs = append(nbrs, j)
+		count := 0
+		for _, w := range g.edges[g.offsets[v]:g.offsets[v+1]] {
+			if _, ok := remap[w]; ok {
+				count++
 			}
 		}
-		// Source lists are sorted by old id; renumbering is not monotone,
-		// so re-sort.
-		adj[i] = nbrs
-		m += len(nbrs)
+		offsets[i+1] = count
 	}
-	sg := &Graph{adj: adj, labels: labels, m: m / 2}
-	sortAdjacency(sg.adj)
+	for i := 0; i < len(vs); i++ {
+		offsets[i+1] += offsets[i]
+	}
+	edges := make([]int, offsets[len(vs)])
+	for i, v := range vs {
+		out := offsets[i]
+		for _, w := range g.edges[g.offsets[v]:g.offsets[v+1]] {
+			if j, ok := remap[w]; ok {
+				edges[out] = j
+				out++
+			}
+		}
+	}
+	sg := &Graph{offsets: offsets, edges: edges, labels: labels, m: offsets[len(vs)] / 2}
+	if !ascending {
+		sg.sortRuns()
+	}
 	return sg
 }
 
@@ -56,17 +87,16 @@ func (g *Graph) InducedSubgraphByLabels(labels []int64) *Graph {
 // labels) containing exactly the given edges. Edges must reference valid
 // vertices; duplicates and self-loops are dropped.
 func (g *Graph) SpanningSubgraph(edges [][2]int) *Graph {
-	adj := make([][]int, len(g.adj))
-	for _, e := range edges {
-		if e[0] == e[1] {
-			continue
+	offsets, flat, m := buildCSR(g.NumVertices(), func(pair func(u, v int)) {
+		for _, e := range edges {
+			if e[0] == e[1] {
+				continue
+			}
+			pair(e[0], e[1])
 		}
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
-	}
-	m := normalize(adj)
+	})
 	labels := append([]int64(nil), g.labels...)
-	return &Graph{adj: adj, labels: labels, m: m}
+	return &Graph{offsets: offsets, edges: flat, labels: labels, m: m}
 }
 
 // RemoveVertices returns the subgraph induced by all vertices not in the
@@ -93,26 +123,22 @@ func (g *Graph) RemoveEdges(edges [][2]int) *Graph {
 		}
 		drop[[2]int{u, v}] = true
 	}
-	adj := make([][]int, len(g.adj))
-	m := 0
-	for u, nbrs := range g.adj {
-		for _, v := range nbrs {
+	n := g.NumVertices()
+	offsets := make([]int, n+1)
+	flat := make([]int, 0, 2*g.m)
+	for u := 0; u < n; u++ {
+		offsets[u] = len(flat)
+		for _, v := range g.Neighbors(u) {
 			a, b := u, v
 			if a > b {
 				a, b = b, a
 			}
 			if !drop[[2]int{a, b}] {
-				adj[u] = append(adj[u], v)
-				m++
+				flat = append(flat, v)
 			}
 		}
 	}
+	offsets[n] = len(flat)
 	labels := append([]int64(nil), g.labels...)
-	return &Graph{adj: adj, labels: labels, m: m / 2}
-}
-
-func sortAdjacency(adj [][]int) {
-	for _, nbrs := range adj {
-		sort.Ints(nbrs)
-	}
+	return &Graph{offsets: offsets, edges: flat, labels: labels, m: len(flat) / 2}
 }

@@ -19,7 +19,7 @@ func (g *Graph) ConnectedComponents() [][]int {
 		for len(queue) > 0 {
 			v := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			for _, w := range g.adj[v] {
+			for _, w := range g.Neighbors(v) {
 				if !seen[w] {
 					seen[w] = true
 					comp = append(comp, w)
@@ -47,7 +47,7 @@ func (g *Graph) IsConnected() bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if !seen[w] {
 				seen[w] = true
 				count++
@@ -70,7 +70,7 @@ func (g *Graph) BFSDistances(src int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if dist[w] == -1 {
 				dist[w] = dist[v] + 1
 				queue = append(queue, w)
@@ -116,7 +116,7 @@ func (g *Graph) ConnectedAvoiding(avoid map[int]bool) bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if !seen[w] && !avoid[w] {
 				seen[w] = true
 				count++

@@ -6,54 +6,40 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 
 	"kvcc/graph"
 )
 
-// ReadEdgeList parses an edge list from r.
+// ReadEdgeList parses an edge list from r in one pass. It accumulates the
+// edges in a graph.Builder, so peak memory includes the flat endpoint
+// list; prefer StreamEdgeList for seekable multi-million-edge inputs,
+// which builds the CSR arrays directly. Both accept the same format (see
+// parseEdgeLine) and produce identical graphs.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	b := graph.NewBuilder(1024)
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
-	lineNo := 0
-	for scanner.Scan() {
-		lineNo++
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("graphio: line %d: want two vertex ids, got %q", lineNo, line)
-		}
-		u, err := strconv.ParseInt(fields[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("graphio: line %d: bad vertex id %q: %v", lineNo, fields[0], err)
-		}
-		v, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("graphio: line %d: bad vertex id %q: %v", lineNo, fields[1], err)
-		}
-		if u == v {
-			continue // self-loop: drop silently like SNAP preprocessing
-		}
+	if err := scanEdges(r, func(u, v int64) error {
 		b.AddEdge(u, v)
-	}
-	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("graphio: read: %v", err)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return b.Build(), nil
 }
 
-// ReadEdgeListFile loads an edge list from a file path.
+// ReadEdgeListFile loads an edge list from a file path. Regular files are
+// seekable, so those go through the two-pass streaming reader and never
+// hold an intermediate edge list; anything else a path can name (a FIFO,
+// /dev/stdin, a process substitution) cannot rewind and falls back to the
+// one-pass reader.
 func ReadEdgeListFile(path string) (*graph.Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if fi, err := f.Stat(); err == nil && fi.Mode().IsRegular() {
+		return StreamEdgeList(f)
+	}
 	return ReadEdgeList(f)
 }
 

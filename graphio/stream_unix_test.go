@@ -1,0 +1,35 @@
+//go:build unix
+
+package graphio
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestReadEdgeListFileNonSeekable guards the fallback for paths that
+// cannot rewind: a FIFO must load through the one-pass reader instead of
+// failing the streaming loader's seek after consuming the whole stream.
+func TestReadEdgeListFileNonSeekable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pipe")
+	if err := syscall.Mkfifo(path, 0o600); err != nil {
+		t.Skipf("mkfifo: %v", err)
+	}
+	go func() {
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		f.WriteString("1 2\n2 3\n3 1\n")
+	}()
+	g, err := ReadEdgeListFile(path)
+	if err != nil {
+		t.Fatalf("FIFO load failed: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("FIFO graph %v, want 3 vertices 3 edges", g)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"kvcc/graph"
 	"kvcc/internal/kcore"
@@ -182,6 +183,7 @@ type enumerator struct {
 // runSerial is the deterministic single-threaded driver.
 func (e *enumerator) runSerial(g *graph.Graph, stats *Stats) []*graph.Graph {
 	var results []*graph.Graph
+	var scratch graph.Scratch
 	queue := []task{{g: g}}
 	var liveBytes, resultBytes int64
 	liveBytes = g.Bytes()
@@ -192,7 +194,7 @@ func (e *enumerator) runSerial(g *graph.Graph, stats *Stats) []*graph.Graph {
 		t := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		liveBytes -= t.g.Bytes()
-		children, vccs := e.step(t, stats)
+		children, vccs := e.step(t, stats, &scratch)
 		for _, c := range children {
 			liveBytes += c.g.Bytes()
 		}
@@ -210,13 +212,22 @@ func (e *enumerator) runSerial(g *graph.Graph, stats *Stats) []*graph.Graph {
 
 // runParallel processes independent subgraphs with a worker pool. The
 // result set is identical to the serial driver; only discovery order
-// differs (and is then canonicalized).
+// differs (and is then canonicalized). Live/result byte tracking mirrors
+// runSerial but uses atomics: each worker settles its task's byte delta
+// and races the observed total against the shared peak, so parallel runs
+// report a PeakBytes comparable to (not byte-equal with) the serial one.
 func (e *enumerator) runParallel(g *graph.Graph, stats *Stats) []*graph.Graph {
 	var (
 		mu      sync.Mutex
 		results []*graph.Graph
 		wg      sync.WaitGroup
+
+		liveBytes, resultBytes, peakBytes atomic.Int64
 	)
+	// Mirror runSerial: the input starts as live bytes, and the peak is
+	// observed at task settlement points only, so a run that peels
+	// everything in one step reports 0 in both drivers.
+	liveBytes.Store(g.Bytes())
 	// Total tasks ever queued is bounded by the partition count (< n/2
 	// by Lemma 10) plus the component count, so a channel sized n+4 can
 	// never block a producer.
@@ -232,13 +243,29 @@ func (e *enumerator) runParallel(g *graph.Graph, stats *Stats) []*graph.Graph {
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
+			var scratch graph.Scratch
 			for t := range tasks {
 				if e.ctx.Err() != nil {
 					wg.Done() // drain without processing
 					continue
 				}
 				local := &Stats{}
-				children, vccs := e.step(t, local)
+				children, vccs := e.step(t, local, &scratch)
+				delta := -t.g.Bytes()
+				for _, c := range children {
+					delta += c.g.Bytes()
+				}
+				var resDelta int64
+				for _, v := range vccs {
+					resDelta += v.Bytes()
+				}
+				total := liveBytes.Add(delta) + resultBytes.Add(resDelta)
+				for {
+					peak := peakBytes.Load()
+					if total <= peak || peakBytes.CompareAndSwap(peak, total) {
+						break
+					}
+				}
 				mu.Lock()
 				stats.Add(local)
 				results = append(results, vccs...)
@@ -252,14 +279,20 @@ func (e *enumerator) runParallel(g *graph.Graph, stats *Stats) []*graph.Graph {
 		}()
 	}
 	workers.Wait()
+	if peak := peakBytes.Load(); peak > stats.PeakBytes {
+		stats.PeakBytes = peak
+	}
 	return results
 }
 
 // step performs one level of Algorithm 1 on a queued subgraph: k-core
 // reduction, component split, cut search, and overlapped partition. It
-// returns the child tasks and any k-VCCs found.
-func (e *enumerator) step(t task, stats *Stats) (children []task, vccs []*graph.Graph) {
-	cored, peeled := kcore.Reduce(t.g, e.k)
+// returns the child tasks and any k-VCCs found. The scratch is reused for
+// every subgraph extraction in this step (and across the caller's steps),
+// which keeps the hot recursion at a constant number of allocations per
+// extracted subgraph.
+func (e *enumerator) step(t task, stats *Stats, scratch *graph.Scratch) (children []task, vccs []*graph.Graph) {
+	cored, peeled := kcore.ReduceScratch(t.g, e.k, scratch)
 	stats.KCorePeeled += int64(peeled)
 	if cored.NumVertices() == 0 {
 		return nil, nil
@@ -270,7 +303,7 @@ func (e *enumerator) step(t task, stats *Stats) (children []task, vccs []*graph.
 		if len(comps) == 1 && cored.NumVertices() == len(comp) {
 			sub = cored
 		} else {
-			sub = cored.InducedSubgraph(comp)
+			sub = cored.InducedSubgraphScratch(comp, scratch)
 		}
 		if sub.NumVertices() <= e.k {
 			// Cannot satisfy Definition 2; unreachable after k-core
@@ -284,7 +317,7 @@ func (e *enumerator) step(t task, stats *Stats) (children []task, vccs []*graph.
 			vccs = append(vccs, sub)
 			continue
 		}
-		parts := overlapPartition(sub, cut)
+		parts := overlapPartition(sub, cut, scratch)
 		if len(parts) < 2 {
 			// The cut failed to disconnect the component. With a correct
 			// sparse certificate this cannot happen; recompute the cut on
@@ -295,7 +328,7 @@ func (e *enumerator) step(t task, stats *Stats) (children []task, vccs []*graph.
 				vccs = append(vccs, sub)
 				continue
 			}
-			parts = overlapPartition(sub, cut)
+			parts = overlapPartition(sub, cut, scratch)
 			if len(parts) < 2 {
 				panic("core: vertex cut does not disconnect component")
 			}
@@ -311,7 +344,7 @@ func (e *enumerator) step(t task, stats *Stats) (children []task, vccs []*graph.
 // overlapPartition implements OVERLAP-PARTITION (Algorithm 1, lines 13-18):
 // remove the cut, and return for every remaining connected component the
 // subgraph induced by the component plus the whole cut.
-func overlapPartition(g *graph.Graph, cut []int) []*graph.Graph {
+func overlapPartition(g *graph.Graph, cut []int, scratch *graph.Scratch) []*graph.Graph {
 	inCut := make([]bool, g.NumVertices())
 	for _, v := range cut {
 		inCut[v] = true
@@ -339,7 +372,7 @@ func overlapPartition(g *graph.Graph, cut []int) []*graph.Graph {
 			}
 		}
 		comp = append(comp, cut...)
-		parts = append(parts, g.InducedSubgraph(comp))
+		parts = append(parts, g.InducedSubgraphScratch(comp, scratch))
 	}
 	return parts
 }

@@ -21,7 +21,7 @@ func TestOverlapPartitionDuplicatesCut(t *testing.T) {
 		}
 	}
 	g := graph.FromEdges(8, edges)
-	parts := overlapPartition(g, []int{3, 4})
+	parts := overlapPartition(g, []int{3, 4}, &graph.Scratch{})
 	if len(parts) != 2 {
 		t.Fatalf("parts = %d, want 2", len(parts))
 	}
@@ -46,7 +46,7 @@ func TestOverlapPartitionInvalidCut(t *testing.T) {
 	// Removing a non-cut leaves one component: the caller treats a single
 	// part as an invalid cut (defensive fallback).
 	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
-	parts := overlapPartition(g, []int{1})
+	parts := overlapPartition(g, []int{1}, &graph.Scratch{})
 	if len(parts) != 1 {
 		t.Fatalf("parts = %d, want 1 for a non-disconnecting set", len(parts))
 	}

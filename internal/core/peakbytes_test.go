@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"testing"
+
+	"kvcc/internal/core"
+	"kvcc/internal/difftest"
+)
+
+// TestParallelPeakBytesTracked is the regression guard for the parallel
+// memory accounting bug: runParallel never touched Stats.PeakBytes, so
+// every WithParallelism>=2 run reported 0 — turning the Fig. 12 memory
+// experiment and the server's stats endpoint into lies under parallelism.
+// Parallel task interleaving differs from the serial DFS order, so the two
+// peaks need not be equal, but both track the same queued-subgraphs +
+// results total and must land within 2x of each other.
+func TestParallelPeakBytesTracked(t *testing.T) {
+	for _, tc := range difftest.Corpus() {
+		for k := 2; k <= tc.MaxK; k++ {
+			serialComps, serialStats, err := core.Enumerate(tc.G, k, core.Options{})
+			if err != nil {
+				t.Fatalf("%s k=%d serial: %v", tc.Name, k, err)
+			}
+			_, parStats, err := core.Enumerate(tc.G, k, core.Options{Parallelism: 4})
+			if err != nil {
+				t.Fatalf("%s k=%d parallel: %v", tc.Name, k, err)
+			}
+			if serialStats.PeakBytes == 0 {
+				// A run that peels everything in its first step holds no
+				// queued subgraphs or results at any settlement point;
+				// both drivers report 0 for it.
+				if len(serialComps) != 0 {
+					t.Fatalf("%s k=%d: serial PeakBytes = 0 with %d components",
+						tc.Name, k, len(serialComps))
+				}
+				continue
+			}
+			if parStats.PeakBytes <= 0 {
+				t.Fatalf("%s k=%d: parallel PeakBytes = %d, want > 0 (parallel accounting regressed)",
+					tc.Name, k, parStats.PeakBytes)
+			}
+			if parStats.PeakBytes > 2*serialStats.PeakBytes ||
+				serialStats.PeakBytes > 2*parStats.PeakBytes {
+				t.Errorf("%s k=%d: parallel PeakBytes %d vs serial %d (beyond 2x)",
+					tc.Name, k, parStats.PeakBytes, serialStats.PeakBytes)
+			}
+		}
+	}
+}

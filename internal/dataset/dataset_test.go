@@ -2,8 +2,10 @@ package dataset
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 
+	"kvcc/graphio"
 	"kvcc/internal/kcore"
 )
 
@@ -112,5 +114,26 @@ func TestTable1(t *testing.T) {
 	if byName["Cnr"].Density <= byName["DBLP"].Density {
 		t.Errorf("expected Cnr (web) denser than DBLP: %.2f vs %.2f",
 			byName["Cnr"].Density, byName["DBLP"].Density)
+	}
+}
+
+func TestLoadFileStreamsSNAPFormat(t *testing.T) {
+	// Write a generated graph as a SNAP-style edge list and ingest it
+	// back through the streaming loader.
+	g := MustLoad("Youtube", 0.1)
+	path := filepath.Join(t.TempDir(), "snap.txt")
+	if err := graphio.WriteEdgeListFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip: n=%d->%d m=%d->%d",
+			g.NumVertices(), back.NumVertices(), g.NumEdges(), back.NumEdges())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file must error")
 	}
 }

@@ -39,7 +39,7 @@ func (nw *Network) maxFlowEK(src, dst int32, limit int) int {
 	search:
 		for head := 0; head < len(nw.queue); head++ {
 			node := nw.queue[head]
-			for _, a := range nw.nodeArcs[node] {
+			for _, a := range nw.arcs(node) {
 				to := nw.arcHead[a]
 				if nw.arcCap[a] > 0 && nw.parentArc[to] == -1 {
 					nw.parentArc[to] = a

@@ -31,10 +31,15 @@ type Network struct {
 	bound int
 
 	// CSR arc storage. Arc i and i^1 are a forward/reverse residual pair.
-	arcHead  []int32 // head node of each arc
-	arcCap   []int32 // residual capacity (mutated by queries)
-	arcInit  []int32 // initial capacity (for reset)
-	nodeArcs [][]int32
+	arcHead []int32 // head node of each arc
+	arcCap  []int32 // residual capacity (mutated by queries)
+	arcInit []int32 // initial capacity (for reset)
+	// Per-node arc index, itself in CSR form: the arcs out of node are
+	// arcList[arcStart[node]:arcStart[node+1]]. One flat array instead of
+	// 2n per-node slices; the counts come straight from the graph's CSR
+	// degrees, so building the index allocates exactly twice.
+	arcStart []int32
+	arcList  []int32
 
 	// Scratch buffers reused across queries.
 	level     []int32
@@ -73,27 +78,32 @@ func NewNetwork(g *graph.Graph, bound int) *Network {
 		queue:   make([]int32, 0, numNodes),
 		reach:   make([]bool, numNodes),
 	}
-	nw.nodeArcs = make([][]int32, numNodes)
 
-	// Count arcs per node first so adjacency slices are allocated once.
-	counts := make([]int32, numNodes)
+	// Arc counts per node follow directly from the CSR degrees: every
+	// split node carries its vertex arc (or its reverse) plus one arc per
+	// incident edge, so the index offsets are computable up front and the
+	// arc lists fill into one flat array.
+	nw.arcStart = make([]int32, numNodes+1)
 	for v := 0; v < n; v++ {
-		counts[inNode(v)]++  // vertex arc
-		counts[outNode(v)]++ // its reverse
-		d := int32(len(g.Neighbors(v)))
-		counts[outNode(v)] += d // adjacency arcs out of out(v)
-		counts[inNode(v)] += d  // reverses of adjacency arcs into in(v)
+		d := int32(g.Degree(v))
+		nw.arcStart[inNode(v)+1] = 1 + d  // vertex arc + reverses of adjacency arcs
+		nw.arcStart[outNode(v)+1] = 1 + d // reverse of vertex arc + adjacency arcs
 	}
-	for node := range nw.nodeArcs {
-		nw.nodeArcs[node] = make([]int32, 0, counts[node])
+	for node := 0; node < numNodes; node++ {
+		nw.arcStart[node+1] += nw.arcStart[node]
 	}
+	nw.arcList = make([]int32, numArcs)
+	fill := make([]int32, numNodes) // next free slot per node
+	copy(fill, nw.arcStart[:numNodes])
 
 	addArc := func(from, to int32, capacity int32) {
 		id := int32(len(nw.arcHead))
 		nw.arcHead = append(nw.arcHead, to, from)
 		nw.arcCap = append(nw.arcCap, capacity, 0)
-		nw.nodeArcs[from] = append(nw.nodeArcs[from], id)
-		nw.nodeArcs[to] = append(nw.nodeArcs[to], id+1)
+		nw.arcList[fill[from]] = id
+		fill[from]++
+		nw.arcList[fill[to]] = id + 1
+		fill[to]++
 	}
 
 	for v := 0; v < n; v++ {
@@ -113,6 +123,11 @@ func NewNetwork(g *graph.Graph, bound int) *Network {
 
 // Bound returns the early-termination bound the network was built with.
 func (nw *Network) Bound() int { return nw.bound }
+
+// arcs returns the ids of the arcs leaving node.
+func (nw *Network) arcs(node int32) []int32 {
+	return nw.arcList[nw.arcStart[node]:nw.arcStart[node+1]]
+}
 
 func (nw *Network) reset() {
 	copy(nw.arcCap, nw.arcInit)
@@ -154,7 +169,7 @@ func (nw *Network) bfsLevels(src, dst int32) bool {
 	nw.queue = append(nw.queue[:0], src)
 	for head := 0; head < len(nw.queue); head++ {
 		node := nw.queue[head]
-		for _, a := range nw.nodeArcs[node] {
+		for _, a := range nw.arcs(node) {
 			to := nw.arcHead[a]
 			if nw.arcCap[a] > 0 && nw.level[to] == -1 {
 				nw.level[to] = nw.level[node] + 1
@@ -214,7 +229,7 @@ func (nw *Network) dfsAugment(src, dst int32) int {
 			return int(bottleneck)
 		}
 		advanced := false
-		arcs := nw.nodeArcs[node]
+		arcs := nw.arcs(node)
 		for nw.iter[node] < int32(len(arcs)) {
 			a := arcs[nw.iter[node]]
 			to := nw.arcHead[a]
@@ -248,7 +263,7 @@ func (nw *Network) extractCut(src int32) []int {
 	nw.queue = append(nw.queue[:0], src)
 	for head := 0; head < len(nw.queue); head++ {
 		node := nw.queue[head]
-		for _, a := range nw.nodeArcs[node] {
+		for _, a := range nw.arcs(node) {
 			to := nw.arcHead[a]
 			if nw.arcCap[a] > 0 && !nw.reach[to] {
 				nw.reach[to] = true

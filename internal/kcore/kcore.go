@@ -77,6 +77,12 @@ func CoreNumbers(g *graph.Graph) []int {
 // (the union of all k-cores), along with the number of vertices peeled
 // away. The result may be empty or disconnected.
 func Reduce(g *graph.Graph, k int) (*graph.Graph, int) {
+	return ReduceScratch(g, k, nil)
+}
+
+// ReduceScratch is Reduce reusing the given subgraph-extraction scratch
+// (nil is allowed), for callers that peel in a hot loop.
+func ReduceScratch(g *graph.Graph, k int, s *graph.Scratch) (*graph.Graph, int) {
 	if k <= 0 {
 		return g, 0
 	}
@@ -116,7 +122,10 @@ func Reduce(g *graph.Graph, k int) (*graph.Graph, int) {
 			kept = append(kept, v)
 		}
 	}
-	return g.InducedSubgraph(kept), peeled
+	if s == nil {
+		return g.InducedSubgraph(kept), peeled
+	}
+	return g.InducedSubgraphScratch(kept, s), peeled
 }
 
 // Components returns the connected components of the k-core of g, each as

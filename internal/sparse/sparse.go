@@ -34,35 +34,39 @@ type Certificate struct {
 // rounds of scan-first search. Round i builds a spanning forest F_i of the
 // graph G_{i-1} = (V, E - F_1 - ... - F_{i-1}); the certificate is the
 // union of the k forests.
+//
+// All per-round scratch (the BFS queue, the forest edge accumulator) is
+// carried across rounds, and edge ids live in one flat array parallel to
+// the graph's CSR edge array, so the whole construction performs a
+// constant number of allocations regardless of round count.
 func Compute(g *graph.Graph, k int) *Certificate {
 	if k < 1 {
 		panic("sparse: k must be >= 1")
 	}
 	n := g.NumVertices()
+	offsets, adj := g.Adjacency()
 
 	// Assign every undirected edge an id so forests can mark edges used.
-	// eid[v][i] is the id of the edge to g.Neighbors(v)[i].
-	eids := make([][]int32, n)
-	next := int32(0)
-	for v := 0; v < n; v++ {
-		eids[v] = make([]int32, len(g.Neighbors(v)))
-	}
-	// Two-pointer pass: for u < v assign a fresh id and record it on both
-	// endpoints. Position of u in adj[v] is found by walking a cursor per
-	// vertex (adjacency lists are sorted, and we visit u in increasing
-	// order).
+	// eids is parallel to the flat CSR edge array: eids[offsets[v]+i] is
+	// the id of the edge to g.Neighbors(v)[i].
+	eids := make([]int32, len(adj))
 	cursor := make([]int, n)
+	copy(cursor, offsets[:n])
+	next := int32(0)
+	// Two-pointer pass: for u < v assign a fresh id and record it on both
+	// endpoints. The position of u in v's run is found by walking v's
+	// cursor once across the whole pass (runs are sorted, and u visits v
+	// in increasing order).
 	for u := 0; u < n; u++ {
-		for i, v := range g.Neighbors(u) {
+		for i, v := range adj[offsets[u]:offsets[u+1]] {
 			if u < v {
 				id := next
 				next++
-				eids[u][i] = id
-				// advance cursor[v] to u
-				for g.Neighbors(v)[cursor[v]] != u {
+				eids[offsets[u]+i] = id
+				for adj[cursor[v]] != u {
 					cursor[v]++
 				}
-				eids[v][cursor[v]] = id
+				eids[cursor[v]] = id
 			}
 		}
 	}
@@ -71,17 +75,21 @@ func Compute(g *graph.Graph, k int) *Certificate {
 	marked := make([]bool, n)
 	queue := make([]int, 0, n)
 	certEdges := make([][2]int, 0, max(0, min(k*(n-1), g.NumEdges())))
-	var lastForest [][2]int
+	lastStart := -1 // start of F_k within certEdges, or -1 if never built
 
 	for round := 0; round < k; round++ {
-		forest := scanFirstForest(g, eids, used, marked, queue[:0])
-		if len(forest) == 0 {
+		roundStart := len(certEdges)
+		certEdges, queue = scanFirstForest(g, offsets, adj, eids, used, marked, queue, certEdges)
+		if len(certEdges) == roundStart {
 			break // remaining graph has no edges; later forests are empty
 		}
-		certEdges = append(certEdges, forest...)
 		if round == k-1 {
-			lastForest = forest
+			lastStart = roundStart
 		}
+	}
+	var lastForest [][2]int
+	if lastStart >= 0 {
+		lastForest = certEdges[lastStart:]
 	}
 	sc := g.SpanningSubgraph(certEdges)
 	groups, groupID := sideGroups(n, lastForest, k)
@@ -89,14 +97,15 @@ func Compute(g *graph.Graph, k int) *Certificate {
 }
 
 // scanFirstForest performs one scan-first search over the edges not yet
-// used, marking the forest edges it takes as used. It returns the forest
-// edge list. A BFS scan order is used (BFS is a scan-first search).
-func scanFirstForest(g *graph.Graph, eids [][]int32, used, marked []bool, queue []int) [][2]int {
+// used, marking the forest edges it takes as used and appending them to
+// forest. It returns the grown forest and queue slices so their capacity
+// carries over to the next round. A BFS scan order is used (BFS is a
+// scan-first search).
+func scanFirstForest(g *graph.Graph, offsets, adj []int, eids []int32, used, marked []bool, queue []int, forest [][2]int) ([][2]int, []int) {
 	n := g.NumVertices()
 	for i := range marked {
 		marked[i] = false
 	}
-	var forest [][2]int
 	for root := 0; root < n; root++ {
 		if marked[root] {
 			continue
@@ -105,18 +114,19 @@ func scanFirstForest(g *graph.Graph, eids [][]int32, used, marked []bool, queue 
 		queue = append(queue[:0], root)
 		for head := 0; head < len(queue); head++ {
 			v := queue[head]
-			for i, w := range g.Neighbors(v) {
-				if used[eids[v][i]] || marked[w] {
+			base := offsets[v]
+			for i, w := range adj[base:offsets[v+1]] {
+				if used[eids[base+i]] || marked[w] {
 					continue
 				}
 				marked[w] = true
-				used[eids[v][i]] = true
+				used[eids[base+i]] = true
 				forest = append(forest, [2]int{v, w})
 				queue = append(queue, w)
 			}
 		}
 	}
-	return forest
+	return forest, queue
 }
 
 // sideGroups groups vertices by connected component of the k-th forest and
@@ -148,25 +158,30 @@ func sideGroups(n int, forest [][2]int, k int) ([][]int, []int) {
 			parent[ra] = rb
 		}
 	}
-	members := make(map[int][]int)
+	// Bucket members by root without a map: count component sizes, then
+	// assign group ids in one ascending scan (so groups come out ordered
+	// by smallest member, members ascending). A root's count is flipped to
+	// -(id+1) once its group is allocated, which lets the scan distinguish
+	// "qualifying, unassigned" from "assigned" with no extra array.
+	count := make([]int, n)
 	for v := 0; v < n; v++ {
-		r := find(v)
-		members[r] = append(members[r], v)
+		count[find(v)]++
 	}
 	var groups [][]int
-	for v := 0; v < n; v++ { // deterministic order: by smallest member
-		if find(v) != v {
-			continue
+	for v := 0; v < n; v++ {
+		r := find(v)
+		switch c := count[r]; {
+		case c > k:
+			id := len(groups)
+			groups = append(groups, make([]int, 0, c))
+			count[r] = -(id + 1)
+			groupID[v] = id
+			groups[id] = append(groups[id], v)
+		case c < 0:
+			id := -c - 1
+			groupID[v] = id
+			groups[id] = append(groups[id], v)
 		}
-		comp := members[v]
-		if len(comp) <= k {
-			continue
-		}
-		id := len(groups)
-		for _, w := range comp {
-			groupID[w] = id
-		}
-		groups = append(groups, comp)
 	}
 	return groups, groupID
 }

@@ -230,3 +230,28 @@ func TestCertificateEmptyAndTinyGraphs(t *testing.T) {
 		t.Fatal("single vertex certificate wrong")
 	}
 }
+
+// TestComputeScratchCarriesAcrossRounds is the allocation-regression guard
+// for the per-round scratch: edge ids live in one flat array parallel to
+// the graph's CSR edges, and the BFS queue and forest accumulator survive
+// from round to round, so the allocation count of Compute must stay
+// essentially flat as k (the round count) grows. The old implementation
+// allocated a fresh eid slice per vertex and a fresh forest per round.
+func TestComputeScratchCarriesAcrossRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := randomConnectedGraph(300, 0.1, rng)
+	allocsAt := func(k int) float64 {
+		return testing.AllocsPerRun(10, func() { Compute(g, k) })
+	}
+	low, high := allocsAt(2), allocsAt(10)
+	// Five times the rounds may not cost more than a small additive
+	// overhead (side-group bookkeeping shrinks as forests thin out, and
+	// certEdges may re-grow once past the heuristic cap).
+	if high > low+20 {
+		t.Fatalf("allocations grow with rounds: k=2 -> %.0f, k=10 -> %.0f", low, high)
+	}
+	// And the total must be far below one allocation per vertex.
+	if low > 60 {
+		t.Fatalf("Compute allocates %.0f times on a 300-vertex graph", low)
+	}
+}

@@ -3,6 +3,7 @@ package kvcc
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"kvcc/graph"
 	"kvcc/hierarchy"
@@ -61,6 +62,33 @@ type Result struct {
 	Components []*graph.Graph
 	// Stats describes the work performed.
 	Stats Stats
+
+	// byLabel is the label → component-indices inverted index, built
+	// lazily on first membership query. Results are cached and shared
+	// across concurrent server requests, so the build is guarded by a
+	// sync.Once rather than recomputed (or worse, linearly scanned) per
+	// request.
+	indexOnce sync.Once
+	byLabel   map[int64][]int
+}
+
+// labelIndex returns the inverted index from vertex label to the indices
+// of the components containing it, building it on first use. Safe for
+// concurrent callers.
+func (r *Result) labelIndex() map[int64][]int {
+	r.indexOnce.Do(func() {
+		idx := make(map[int64][]int)
+		for i, c := range r.Components {
+			for _, l := range c.Labels() {
+				if list := idx[l]; len(list) > 0 && list[len(list)-1] == i {
+					continue // defensive: a component lists each label once
+				}
+				idx[l] = append(idx[l], i)
+			}
+		}
+		r.byLabel = idx
+	})
+	return r.byLabel
 }
 
 // Enumerate computes all k-vertex connected components of g.
@@ -108,44 +136,34 @@ func BuildHierarchyContext(ctx context.Context, g *graph.Graph, opts ...Option) 
 // ComponentsContaining returns the indices of the components that contain
 // the vertex with the given label. By Theorem 6 a vertex belongs to fewer
 // than n/2 components; in practice overlap is below k per pair
-// (Property 1).
+// (Property 1). Lookups hit the lazily built inverted index, so the
+// serving path costs O(answer), not O(components · vertices).
 func (r *Result) ComponentsContaining(label int64) []int {
-	var out []int
-	for i, c := range r.Components {
-		for _, l := range c.Labels() {
-			if l == label {
-				out = append(out, i)
-				break
-			}
-		}
+	list := r.labelIndex()[label]
+	if len(list) == 0 {
+		return nil
 	}
-	return out
+	return append([]int(nil), list...)
 }
 
 // OverlapMatrix returns the pairwise overlap sizes between components.
-// Property 1 guarantees every off-diagonal entry is below k.
+// Property 1 guarantees every off-diagonal entry is below k. The matrix is
+// assembled from the inverted label index — each shared vertex contributes
+// to the pairs of components containing it — so the cost is
+// O(vertices · overlap²) rather than O(components² · vertices).
 func (r *Result) OverlapMatrix() [][]int {
 	n := len(r.Components)
-	sets := make([]map[int64]bool, n)
-	for i, c := range r.Components {
-		sets[i] = make(map[int64]bool, c.NumVertices())
-		for _, l := range c.Labels() {
-			sets[i][l] = true
-		}
-	}
 	m := make([][]int, n)
 	for i := range m {
 		m[i] = make([]int, n)
-		m[i][i] = len(sets[i])
-		for j := 0; j < i; j++ {
-			shared := 0
-			for l := range sets[j] {
-				if sets[i][l] {
-					shared++
-				}
+	}
+	for _, comps := range r.labelIndex() {
+		for x, a := range comps {
+			m[a][a]++
+			for _, b := range comps[x+1:] {
+				m[a][b]++
+				m[b][a]++
 			}
-			m[i][j] = shared
-			m[j][i] = shared
 		}
 	}
 	return m

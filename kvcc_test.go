@@ -313,3 +313,102 @@ func TestEnumerateContextCancellation(t *testing.T) {
 		t.Fatal("cancelled context must abort parallel enumeration")
 	}
 }
+
+// TestLabelIndexMatchesScan pits the Result's inverted label index (the
+// serving path of /api/v1/components-containing and /api/v1/overlap)
+// against the naive per-component scans it replaced, on a planted
+// community graph whose chained overlaps exercise multi-membership.
+func TestLabelIndexMatchesScan(t *testing.T) {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 6, MinSize: 10, MaxSize: 16, IntraProb: 0.9,
+		ChainOverlap: 3, ChainEvery: 1, BridgeEdges: 5,
+		NoiseVertices: 30, NoiseDegree: 2, Seed: 77,
+	})
+	res, err := kvcc.Enumerate(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) < 2 {
+		t.Fatalf("want several components, got %d", len(res.Components))
+	}
+
+	scanContaining := func(label int64) []int {
+		var out []int
+		for i, c := range res.Components {
+			for _, l := range c.Labels() {
+				if l == label {
+					out = append(out, i)
+					break
+				}
+			}
+		}
+		return out
+	}
+	overlapped := 0
+	for _, l := range res.VertexLabels() {
+		want := scanContaining(l)
+		got := res.ComponentsContaining(l)
+		if len(got) != len(want) {
+			t.Fatalf("label %d: index %v vs scan %v", l, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("label %d: index %v vs scan %v", l, got, want)
+			}
+		}
+		if len(got) > 1 {
+			overlapped++
+		}
+	}
+	if overlapped == 0 {
+		t.Fatal("corpus has no overlapping vertices; test is vacuous")
+	}
+	if res.ComponentsContaining(-12345) != nil {
+		t.Fatal("absent label must return nil")
+	}
+
+	m := res.OverlapMatrix()
+	for i, ci := range res.Components {
+		seti := map[int64]bool{}
+		for _, l := range ci.Labels() {
+			seti[l] = true
+		}
+		if m[i][i] != len(seti) {
+			t.Fatalf("diagonal [%d] = %d, want %d", i, m[i][i], len(seti))
+		}
+		for j, cj := range res.Components {
+			if i == j {
+				continue
+			}
+			shared := 0
+			for _, l := range cj.Labels() {
+				if seti[l] {
+					shared++
+				}
+			}
+			if m[i][j] != shared {
+				t.Fatalf("overlap [%d][%d] = %d, want %d", i, j, m[i][j], shared)
+			}
+		}
+	}
+
+	// The lazy index must be safe under concurrent first use (run with
+	// -race in CI).
+	res2, err := kvcc.Enumerate(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for _, l := range []int64{0, 1, 2, 3} {
+				res2.ComponentsContaining(l)
+			}
+			res2.OverlapMatrix()
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"kvcc"
@@ -26,6 +27,30 @@ type graphIndex struct {
 	tree    *hierarchy.Tree
 	err     error
 	buildMS float64
+
+	// levelRes memoizes the kvcc.Result materialized for each served
+	// level, so per-Result lazy state (the label→components inverted
+	// index behind ComponentsContaining/OverlapMatrix) amortizes across
+	// requests instead of being rebuilt per call. Only touched after
+	// ready closes with err == nil; the tree is immutable by then.
+	resMu    sync.Mutex
+	levelRes map[int]*kvcc.Result
+}
+
+// levelResult returns the (memoized) Result for level k of a finished
+// build. Callers must have checked done(), err == nil and tree.Covers(k).
+func (ix *graphIndex) levelResult(k int) *kvcc.Result {
+	ix.resMu.Lock()
+	defer ix.resMu.Unlock()
+	if r, ok := ix.levelRes[k]; ok {
+		return r
+	}
+	if ix.levelRes == nil {
+		ix.levelRes = make(map[int]*kvcc.Result)
+	}
+	r := resultFromIndex(ix.tree, k)
+	ix.levelRes[k] = r
+	return r
 }
 
 // done reports whether the build has finished, without blocking.
@@ -111,18 +136,18 @@ func (s *Server) startIndexBuildLocked(name string, e graphEntry) *graphIndex {
 	return ix
 }
 
-// indexTree returns the ready hierarchy for (name, gen), or nil when no
-// matching build has completed successfully. Non-blocking: the enumerate
-// fast path uses it to opportunistically serve from the index while a
-// build in progress falls back to the cache/singleflight path.
-func (s *Server) indexTree(name string, gen uint64) *hierarchy.Tree {
+// readyIndex returns the finished index build for (name, gen), or nil
+// when no matching build has completed successfully. Non-blocking: the
+// enumerate fast path uses it to opportunistically serve from the index
+// while a build in progress falls back to the cache/singleflight path.
+func (s *Server) readyIndex(name string, gen uint64) *graphIndex {
 	s.indexMu.Lock()
 	ix := s.indexes[name]
 	s.indexMu.Unlock()
 	if ix == nil || ix.gen != gen || !ix.done() || ix.err != nil {
 		return nil
 	}
-	return ix.tree
+	return ix
 }
 
 // indexFor returns the finished index for the named graph, starting a

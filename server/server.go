@@ -170,8 +170,11 @@ func (s *Server) AddGraph(name string, g *graph.Graph) {
 	}
 }
 
-// LoadGraphFile reads a SNAP-style edge list via graphio and registers it
-// under name.
+// LoadGraphFile reads a SNAP-style edge list and registers the graph
+// under name. Regular files go through graphio's two-pass streaming
+// loader — the file is scanned twice and the CSR arrays are filled in
+// place, so multi-million-edge files load with bounded memory; pipes and
+// other non-seekable paths fall back to the one-pass reader.
 func (s *Server) LoadGraphFile(name, path string) error {
 	g, err := graphio.ReadEdgeListFile(path)
 	if err != nil {
@@ -245,11 +248,14 @@ func (s *Server) result(ctx context.Context, graphName string, k int, algo kvcc.
 		return nil, srcComputed, err
 	}
 
-	if tree := s.indexTree(graphName, entry.gen); tree != nil && tree.Covers(k) {
+	if ix := s.readyIndex(graphName, entry.gen); ix != nil && ix.tree.Covers(k) {
 		s.statsMu.Lock()
 		s.enum.IndexServed++
 		s.statsMu.Unlock()
-		return resultFromIndex(tree, k), srcIndex, nil
+		// The per-level Result is memoized on the index so its lazy label
+		// index (behind components-containing/overlap) builds once, not
+		// once per request.
+		return ix.levelResult(k), srcIndex, nil
 	}
 
 	key := cacheKey{graph: graphName, gen: entry.gen, k: k, algo: algo}

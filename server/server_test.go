@@ -3,7 +3,10 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -414,5 +417,67 @@ func TestHTTPErrors(t *testing.T) {
 	_, err = client.Enumerate(ctx, EnumerateRequest{Graph: "fig2", K: 0})
 	if err == nil || !strings.Contains(err.Error(), "400") {
 		t.Fatalf("bad k err = %v, want 400", err)
+	}
+}
+
+// TestLoadGraphFile exercises the streaming file-ingestion path behind
+// kvccd's -graph flag: a SNAP-style file (comments, tabs, duplicates,
+// self-loops) must register and serve identically to an AddGraph of the
+// same structure, and a malformed file must fail with a line-numbered
+// error rather than a panic.
+func TestLoadGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "twocliques.txt")
+	var sb strings.Builder
+	sb.WriteString("# two K5s sharing {3,4}\n")
+	g := twoCliques()
+	for _, e := range g.Edges(nil) {
+		fmt.Fprintf(&sb, "%d\t%d\n", g.Label(e[0]), g.Label(e[1]))
+	}
+	sb.WriteString("3 3\n")  // self-loop, dropped
+	sb.WriteString("0\t1\n") // duplicate, dropped
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{})
+	if err := s.LoadGraphFile("file", path); err != nil {
+		t.Fatal(err)
+	}
+	s.AddGraph("mem", twoCliques())
+
+	ctx := context.Background()
+	fromFile, err := s.Enumerate(ctx, EnumerateRequest{Graph: "file", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromMem, err := s.Enumerate(ctx, EnumerateRequest{Graph: "mem", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromFile.Components) != len(fromMem.Components) {
+		t.Fatalf("file-served %d components, mem-served %d",
+			len(fromFile.Components), len(fromMem.Components))
+	}
+	for i := range fromFile.Components {
+		a, b := fromFile.Components[i].Vertices, fromMem.Components[i].Vertices
+		if len(a) != len(b) {
+			t.Fatalf("component %d sizes differ", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("component %d differs: %v vs %v", i, a, b)
+			}
+		}
+	}
+
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("1 2\nnot numbers\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.LoadGraphFile("bad", bad); err == nil {
+		t.Fatal("malformed file must fail to load")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should cite the bad line: %v", err)
 	}
 }
