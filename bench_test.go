@@ -230,7 +230,7 @@ func BenchmarkFig14CaseStudy(b *testing.B) {
 }
 
 // BenchmarkAblationSweepRules quantifies each optimization's contribution
-// (the design choices called out in DESIGN.md): LOC-CUT tests remaining
+// (the design choices called out in docs/DESIGN.md): LOC-CUT tests remaining
 // after each pruning stage.
 func BenchmarkAblationSweepRules(b *testing.B) {
 	g := benchDataset(b, "Stanford")

@@ -1,7 +1,7 @@
 // Package gen generates the synthetic graphs used to reproduce the paper's
 // evaluation. The module is offline, so the seven SNAP datasets are
 // replaced by deterministic generators calibrated to each dataset's
-// character (see DESIGN.md, Substitutions): random graphs, preferential
+// character (see docs/DESIGN.md, "Substitutions"): random graphs, preferential
 // attachment, a web-crawl copying model, planted dense communities with
 // sub-k overlaps (the structure k-VCC enumeration is designed to recover),
 // and collaboration ego networks for the Fig. 14 case study.

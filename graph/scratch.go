@@ -12,6 +12,10 @@ type Scratch struct {
 	remap []int   // remap[old] = new vertex id, valid iff stamp[old] == gen
 	stamp []int64 // generation stamp per original vertex
 	gen   int64
+
+	// BFS state for BFSDistancesScratch.
+	dist  []int
+	queue []int
 }
 
 // grow ensures the buffers cover n original vertices. Growing replaces the
@@ -82,4 +86,36 @@ func (g *Graph) sortRuns() {
 	for v := 0; v < len(g.labels); v++ {
 		sort.Ints(g.edges[g.offsets[v]:g.offsets[v+1]])
 	}
+}
+
+// BFSDistancesScratch is BFSDistances using s's buffers: the returned
+// distance slice is owned by the scratch and valid only until the next
+// BFSDistancesScratch call with the same s. Hot loops that order vertices
+// by distance once per component use this to avoid one O(n) allocation
+// per call.
+func (g *Graph) BFSDistancesScratch(src int, s *Scratch) []int {
+	n := g.NumVertices()
+	if cap(s.dist) < n {
+		s.dist = make([]int, n)
+	}
+	dist := s.dist[:n]
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	if cap(s.queue) < n {
+		s.queue = make([]int, 0, n)
+	}
+	queue := append(s.queue[:0], src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	s.queue = queue
+	return dist
 }

@@ -1,34 +1,58 @@
 package graph
 
-import "sort"
-
 // ConnectedComponents returns the vertex sets of the connected components,
 // each sorted ascending. Components are ordered by their smallest vertex.
+// One labeling pass plus one ascending layout scan produce both orderings
+// for free — no per-component sort.
 func (g *Graph) ConnectedComponents() [][]int {
 	n := g.NumVertices()
-	seen := make([]bool, n)
-	queue := make([]int, 0, n)
-	var comps [][]int
+	if n == 0 {
+		return nil
+	}
+	comp := make([]int, n) // component id per vertex, ids by ascending seed
+	for i := range comp {
+		comp[i] = -1
+	}
+	stack := make([]int, 0, n)
+	var sizes []int
 	for s := 0; s < n; s++ {
-		if seen[s] {
+		if comp[s] >= 0 {
 			continue
 		}
-		seen[s] = true
-		queue = append(queue[:0], s)
-		comp := []int{s}
-		for len(queue) > 0 {
-			v := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
+		id := len(sizes)
+		comp[s] = id
+		size := 1
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
 			for _, w := range g.Neighbors(v) {
-				if !seen[w] {
-					seen[w] = true
-					comp = append(comp, w)
-					queue = append(queue, w)
+				if comp[w] < 0 {
+					comp[w] = id
+					size++
+					stack = append(stack, w)
 				}
 			}
 		}
-		sort.Ints(comp)
-		comps = append(comps, comp)
+		sizes = append(sizes, size)
+	}
+	// Lay the members out in one flat array: an ascending vertex scan
+	// fills every component in ascending order, and capacity-capped
+	// subslices keep the returned sets independent.
+	members := make([]int, n)
+	starts := make([]int, len(sizes)+1)
+	for i, sz := range sizes {
+		starts[i+1] = starts[i] + sz
+	}
+	cursor := append([]int(nil), starts[:len(sizes)]...)
+	for v := 0; v < n; v++ {
+		id := comp[v]
+		members[cursor[id]] = v
+		cursor[id]++
+	}
+	comps := make([][]int, len(sizes))
+	for i := range comps {
+		comps[i] = members[starts[i]:starts[i+1]:starts[i+1]]
 	}
 	return comps
 }

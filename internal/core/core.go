@@ -24,7 +24,9 @@ import (
 	"sync/atomic"
 
 	"kvcc/graph"
+	"kvcc/internal/flow"
 	"kvcc/internal/kcore"
+	"kvcc/internal/sparse"
 )
 
 // Algorithm selects the GLOBAL-CUT variant used by Enumerate.
@@ -180,10 +182,53 @@ type enumerator struct {
 	ctx  context.Context
 }
 
+// workspace bundles the per-worker scratch arenas threaded through the
+// recursion: the graph renumbering scratch (subgraph extraction, k-core
+// peeling, BFS ordering), the pooled flow network, the sparse-certificate
+// buffers, and the reusable per-component cut-finder state. One workspace
+// serves a whole driver (or one worker of the parallel pool), so the
+// steady-state recursion allocates only what it returns: result
+// subgraphs, certificates, cuts, and hints.
+type workspace struct {
+	graph  graph.Scratch
+	flow   flow.Scratch
+	sparse sparse.Scratch
+	cf     cutFinder
+
+	// Trivial-certificate state for components the CKT construction
+	// cannot shrink (see certificate in globalcut.go).
+	trivGroupID []int
+	trivCert    sparse.Certificate
+}
+
+// certificate returns the sparse certificate used for the flow tests on
+// component g. When m <= k(n-1) — the CKT edge bound — the certificate
+// cannot be asymptotically smaller than the component itself, so the k
+// rounds of scan-first search are pure overhead: the component doubles
+// as its own certificate (GLOBAL-CUT on the raw graph is always correct;
+// the certificate is strictly a flow-size optimization). The trivial
+// certificate carries no side groups, so the group sweep degrades
+// gracefully to no pruning on such components.
+func (ws *workspace) certificate(g *graph.Graph, k int) *sparse.Certificate {
+	n := g.NumVertices()
+	if g.NumEdges() > k*(n-1) {
+		return sparse.ComputeScratch(g, k, &ws.sparse)
+	}
+	if cap(ws.trivGroupID) < n {
+		ws.trivGroupID = make([]int, n)
+		for i := range ws.trivGroupID {
+			ws.trivGroupID[i] = -1
+		}
+	}
+	// The buffer only ever holds -1: nothing writes through GroupID.
+	ws.trivCert = sparse.Certificate{SC: g, GroupID: ws.trivGroupID[:n]}
+	return &ws.trivCert
+}
+
 // runSerial is the deterministic single-threaded driver.
 func (e *enumerator) runSerial(g *graph.Graph, stats *Stats) []*graph.Graph {
 	var results []*graph.Graph
-	var scratch graph.Scratch
+	var ws workspace
 	queue := []task{{g: g}}
 	var liveBytes, resultBytes int64
 	liveBytes = g.Bytes()
@@ -194,7 +239,7 @@ func (e *enumerator) runSerial(g *graph.Graph, stats *Stats) []*graph.Graph {
 		t := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		liveBytes -= t.g.Bytes()
-		children, vccs := e.step(t, stats, &scratch)
+		children, vccs := e.step(t, stats, &ws)
 		for _, c := range children {
 			liveBytes += c.g.Bytes()
 		}
@@ -220,7 +265,6 @@ func (e *enumerator) runParallel(g *graph.Graph, stats *Stats) []*graph.Graph {
 	var (
 		mu      sync.Mutex
 		results []*graph.Graph
-		wg      sync.WaitGroup
 
 		liveBytes, resultBytes, peakBytes atomic.Int64
 	)
@@ -228,29 +272,25 @@ func (e *enumerator) runParallel(g *graph.Graph, stats *Stats) []*graph.Graph {
 	// observed at task settlement points only, so a run that peels
 	// everything in one step reports 0 in both drivers.
 	liveBytes.Store(g.Bytes())
-	// Total tasks ever queued is bounded by the partition count (< n/2
-	// by Lemma 10) plus the component count, so a channel sized n+4 can
-	// never block a producer.
-	tasks := make(chan task, g.NumVertices()+4)
-	wg.Add(1)
-	tasks <- task{g: g}
-	go func() {
-		wg.Wait()
-		close(tasks)
-	}()
+	q := newTaskQueue()
+	q.push(task{g: g})
 	var workers sync.WaitGroup
 	for w := 0; w < e.opts.Parallelism; w++ {
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
-			var scratch graph.Scratch
-			for t := range tasks {
+			var ws workspace
+			for {
+				t, ok := q.pop()
+				if !ok {
+					return
+				}
 				if e.ctx.Err() != nil {
-					wg.Done() // drain without processing
+					q.finish() // drain without processing
 					continue
 				}
 				local := &Stats{}
-				children, vccs := e.step(t, local, &scratch)
+				children, vccs := e.step(t, local, &ws)
 				delta := -t.g.Bytes()
 				for _, c := range children {
 					delta += c.g.Bytes()
@@ -270,11 +310,12 @@ func (e *enumerator) runParallel(g *graph.Graph, stats *Stats) []*graph.Graph {
 				stats.Add(local)
 				results = append(results, vccs...)
 				mu.Unlock()
+				// Children go in before finish so the queue cannot observe
+				// a zero in-flight count while work remains.
 				for _, c := range children {
-					wg.Add(1)
-					tasks <- c
+					q.push(c)
 				}
-				wg.Done()
+				q.finish()
 			}
 		}()
 	}
@@ -287,11 +328,12 @@ func (e *enumerator) runParallel(g *graph.Graph, stats *Stats) []*graph.Graph {
 
 // step performs one level of Algorithm 1 on a queued subgraph: k-core
 // reduction, component split, cut search, and overlapped partition. It
-// returns the child tasks and any k-VCCs found. The scratch is reused for
-// every subgraph extraction in this step (and across the caller's steps),
-// which keeps the hot recursion at a constant number of allocations per
-// extracted subgraph.
-func (e *enumerator) step(t task, stats *Stats, scratch *graph.Scratch) (children []task, vccs []*graph.Graph) {
+// returns the child tasks and any k-VCCs found. The workspace is reused
+// for every subgraph extraction, certificate, and flow network in this
+// step (and across the caller's steps), which keeps the hot recursion at
+// a constant number of allocations per extracted subgraph.
+func (e *enumerator) step(t task, stats *Stats, ws *workspace) (children []task, vccs []*graph.Graph) {
+	scratch := &ws.graph
 	cored, peeled := kcore.ReduceScratch(t.g, e.k, scratch)
 	stats.KCorePeeled += int64(peeled)
 	if cored.NumVertices() == 0 {
@@ -312,7 +354,7 @@ func (e *enumerator) step(t task, stats *Stats, scratch *graph.Scratch) (childre
 			continue
 		}
 		stats.GlobalCutCalls++
-		cut, childHint := e.findCut(sub, t.hint, stats)
+		cut, childHint := e.findCut(sub, t.hint, stats, ws)
 		if cut == nil {
 			vccs = append(vccs, sub)
 			continue
@@ -323,7 +365,7 @@ func (e *enumerator) step(t task, stats *Stats, scratch *graph.Scratch) (childre
 			// sparse certificate this cannot happen; recompute the cut on
 			// the raw graph as a defensive fallback.
 			stats.CutFallbacks++
-			cut = e.findCutRaw(sub, stats)
+			cut = e.findCutRaw(sub, stats, ws)
 			if cut == nil {
 				vccs = append(vccs, sub)
 				continue
@@ -372,6 +414,11 @@ func overlapPartition(g *graph.Graph, cut []int, scratch *graph.Scratch) []*grap
 			}
 		}
 		comp = append(comp, cut...)
+		// Ascending vertex lists hit InducedSubgraphScratch's monotone
+		// fast path: the renumbering preserves run order, so no adjacency
+		// run is ever re-sorted. One small sort here replaces one sort
+		// per vertex there.
+		sort.Ints(comp)
 		parts = append(parts, g.InducedSubgraphScratch(comp, scratch))
 	}
 	return parts

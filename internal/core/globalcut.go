@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"kvcc/graph"
 	"kvcc/internal/flow"
 	"kvcc/internal/sparse"
@@ -11,21 +9,21 @@ import (
 // findCut searches a connected component for a vertex cut with fewer than
 // k vertices. It returns nil if the component is k-connected. The returned
 // hint carries this component's strong side-vertex set to its children.
-func (e *enumerator) findCut(g *graph.Graph, hint *ssvHint, stats *Stats) ([]int, *ssvHint) {
+func (e *enumerator) findCut(g *graph.Graph, hint *ssvHint, stats *Stats, ws *workspace) ([]int, *ssvHint) {
 	if e.opts.Algorithm == VCCE {
-		return e.findCutBasic(g, stats), nil
+		return e.findCutBasic(g, stats, ws), nil
 	}
-	return e.findCutOptimized(g, hint, stats)
+	return e.findCutOptimized(g, hint, stats, ws)
 }
 
 // findCutBasic is GLOBAL-CUT (Algorithm 2): sparse certificate, then local
 // connectivity tests from a minimum-degree source against every vertex
 // (phase 1) and between every pair of the source's neighbors (phase 2,
 // Lemma 4).
-func (e *enumerator) findCutBasic(g *graph.Graph, stats *Stats) []int {
-	cert := sparse.Compute(g, e.k)
+func (e *enumerator) findCutBasic(g *graph.Graph, stats *Stats, ws *workspace) []int {
+	cert := ws.certificate(g, e.k)
 	sc := cert.SC
-	nw := flow.NewNetwork(sc, e.k)
+	nw := flow.NewNetworkScratch(sc, e.k, &ws.flow)
 	defer func() { stats.FlowRuns += nw.FlowRuns }()
 
 	u, _ := sc.MinDegreeVertex()
@@ -61,8 +59,8 @@ func (e *enumerator) findCutBasic(g *graph.Graph, stats *Stats) []int {
 // findCutRaw is the defensive fallback: the basic two-phase search run on
 // the raw component without a sparse certificate, so any cut it finds is a
 // cut of the component by construction.
-func (e *enumerator) findCutRaw(g *graph.Graph, stats *Stats) []int {
-	nw := flow.NewNetwork(g, e.k)
+func (e *enumerator) findCutRaw(g *graph.Graph, stats *Stats, ws *workspace) []int {
+	nw := flow.NewNetworkScratch(g, e.k, &ws.flow)
 	defer func() { stats.FlowRuns += nw.FlowRuns }()
 	u, _ := g.MinDegreeVertex()
 	for v := 0; v < g.NumVertices(); v++ {
@@ -94,6 +92,9 @@ const (
 )
 
 // cutFinder holds the per-component state of GLOBAL-CUT* (Algorithm 3).
+// One cutFinder lives in each workspace and is re-primed per component by
+// reset, so its buffers warm up to the largest component a worker sees
+// and the per-component cost is clearing, not allocating.
 type cutFinder struct {
 	g  *graph.Graph // the component (sweeps, deposits, SSV tests)
 	sc *graph.Graph // sparse certificate (flow tests, phase-2 neighbors)
@@ -116,38 +117,69 @@ type cutFinder struct {
 	gDeposit   []int
 	gProcessed []bool
 
-	stack []int // scratch for iterative sweep
+	stack  []int // scratch for iterative sweep
+	order  []int // phase-1 vertex ordering
+	counts []int // counting-sort buckets for the ordering
+
+	// Neighborhood membership stamps for the SSV pairwise test. Stamps
+	// only ever hold generations already issued, so growing the buffer
+	// within capacity across components is safe: a strictly increasing
+	// counter can never collide with a re-exposed stale stamp.
+	nbStamp []int64
+	nbGen   int64
+}
+
+// growClear reslices s to length n with every element zeroed,
+// reallocating only when the capacity is insufficient.
+func growClear[T bool | int | int8 | uint8](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// reset primes cf for a new component.
+func (cf *cutFinder) reset(e *enumerator, g *graph.Graph, cert *sparse.Certificate, hint *ssvHint, stats *Stats, ws *workspace) {
+	n := g.NumVertices()
+	cf.g = g
+	cf.sc = cert.SC
+	cf.k = e.k
+	cf.nw = flow.NewNetworkScratch(cert.SC, e.k, &ws.flow)
+	cf.useNS = e.opts.Algorithm.neighborSweep()
+	cf.useGS = e.opts.Algorithm.groupSweep()
+	cf.hint = hint
+	cf.ssvDegreeCap = e.opts.SSVDegreeCap
+	cf.stats = stats
+	cf.ssvMemo = growClear(cf.ssvMemo, n)
+	cf.pru = growClear(cf.pru, n)
+	cf.cause = growClear(cf.cause, n)
+	cf.deposit = growClear(cf.deposit, n)
+	if cap(cf.nbStamp) < n {
+		cf.nbStamp = make([]int64, n)
+	} else {
+		cf.nbStamp = cf.nbStamp[:n]
+	}
+	if cf.useGS {
+		cf.groupID = cert.GroupID
+		cf.groups = cert.SideGroups
+		cf.gDeposit = growClear(cf.gDeposit, len(cf.groups))
+		cf.gProcessed = growClear(cf.gProcessed, len(cf.groups))
+	} else {
+		cf.groupID, cf.groups = nil, nil
+	}
 }
 
 // findCutOptimized is GLOBAL-CUT* (Algorithm 3) with the sweep strategies
 // selected by the algorithm variant.
-func (e *enumerator) findCutOptimized(g *graph.Graph, hint *ssvHint, stats *Stats) ([]int, *ssvHint) {
-	k := e.k
-	cert := sparse.Compute(g, k)
-	cf := &cutFinder{
-		g:            g,
-		sc:           cert.SC,
-		k:            k,
-		nw:           flow.NewNetwork(cert.SC, k),
-		useNS:        e.opts.Algorithm.neighborSweep(),
-		useGS:        e.opts.Algorithm.groupSweep(),
-		hint:         hint,
-		ssvDegreeCap: e.opts.SSVDegreeCap,
-		stats:        stats,
-	}
+func (e *enumerator) findCutOptimized(g *graph.Graph, hint *ssvHint, stats *Stats, ws *workspace) ([]int, *ssvHint) {
+	cert := ws.certificate(g, e.k)
+	cf := &ws.cf
+	cf.reset(e, g, cert, hint, stats, ws)
 	defer func() { stats.FlowRuns += cf.nw.FlowRuns }()
 
 	n := g.NumVertices()
-	cf.ssvMemo = make([]int8, n)
-	if cf.useGS {
-		cf.groupID = cert.GroupID
-		cf.groups = cert.SideGroups
-		cf.gDeposit = make([]int, len(cf.groups))
-		cf.gProcessed = make([]bool, len(cf.groups))
-	}
-	cf.pru = make([]bool, n)
-	cf.cause = make([]uint8, n)
-	cf.deposit = make([]int, n)
 
 	// Source selection (Algorithm 3, lines 4-7): prefer a strong
 	// side-vertex, since the source then cannot belong to any qualified
@@ -176,20 +208,7 @@ func (e *enumerator) findCutOptimized(g *graph.Graph, hint *ssvHint, stats *Stat
 	// Phase 1: process vertices in non-ascending distance from u
 	// (Algorithm 3, line 11) — remote vertices are the most likely to be
 	// separated from the source.
-	dist := g.BFSDistances(u)
-	order := make([]int, 0, n)
-	for v := 0; v < n; v++ {
-		if v != u {
-			order = append(order, v)
-		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
-		if dist[a] != dist[b] {
-			return dist[a] > dist[b]
-		}
-		return a < b
-	})
+	order := cf.orderByDistance(g.BFSDistancesScratch(u, &ws.graph), u)
 	for _, v := range order {
 		if cf.pru[v] {
 			switch cf.cause[v] {
@@ -234,7 +253,61 @@ func (e *enumerator) findCutOptimized(g *graph.Graph, hint *ssvHint, stats *Stat
 			}
 		}
 	}
-	return nil, cf.buildHint()
+	// No cut: the component is a k-VCC and will never be partitioned, so
+	// there are no children to hand a hint to — skip building one. This
+	// matters: terminal components resolve the most SSV statuses (full
+	// phase-1 and phase-2 scans), which made their discarded hints the
+	// most expensive ones.
+	return nil, nil
+}
+
+// orderByDistance lays out the vertices other than u in non-ascending
+// BFS distance from u, ties broken by ascending vertex id. Distances are
+// small integers, so a counting sort bucketed by distance replaces the
+// closure-based comparison sort that used to show up on profiles of
+// large components; a single ascending placement scan keeps ties in
+// ascending id order, so the result is identical to the old sort.
+// Unreachable vertices (distance -1 — impossible for a connected
+// component, but the +1 bucket shift keeps them well-defined) come last,
+// as they did under the old comparator. The returned slice is owned by
+// cf and valid until its next use.
+func (cf *cutFinder) orderByDistance(dist []int, u int) []int {
+	n := len(dist)
+	maxD := 0
+	for _, d := range dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	counts := growClear(cf.counts, maxD+2)
+	for v := 0; v < n; v++ {
+		if v != u {
+			counts[dist[v]+1]++
+		}
+	}
+	// Rewrite counts into write cursors for a descending-bucket layout:
+	// the bucket of the largest distance starts at 0.
+	start := 0
+	for b := maxD + 1; b >= 0; b-- {
+		c := counts[b]
+		counts[b] = start
+		start += c
+	}
+	cf.counts = counts
+	if cap(cf.order) < n-1 {
+		cf.order = make([]int, n-1)
+	}
+	order := cf.order[:n-1]
+	for v := 0; v < n; v++ {
+		if v == u {
+			continue
+		}
+		b := dist[v] + 1
+		order[counts[b]] = v
+		counts[b]++
+	}
+	cf.order = order
+	return order
 }
 
 // ssvSourceScanLimit bounds the lazy scan for a strong side-vertex source.

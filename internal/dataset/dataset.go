@@ -8,7 +8,7 @@
 // effectiveness figures, 20-40 for the efficiency figures).
 //
 // The generated graphs are laptop-sized (≈10⁴ vertices at scale 1.0); the
-// scale knob grows or shrinks the corpus proportionally. See DESIGN.md
+// scale knob grows or shrinks the corpus proportionally. See docs/DESIGN.md
 // ("Substitutions") for why this preserves the paper's observable
 // behaviour.
 package dataset

@@ -44,6 +44,37 @@ func BenchmarkMinVertexCut(b *testing.B) {
 	}
 }
 
+// BenchmarkMinVertexCutCold measures the worst case for the zero-reset
+// engine: a fresh network built from a cold scratch for every query, so
+// nothing is pooled and nothing amortizes.
+func BenchmarkMinVertexCutCold(b *testing.B) {
+	g := benchGraph(500, 0.05, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := NewNetwork(g, 20)
+		nw.MinVertexCut(0, 250+i%200)
+	}
+}
+
+// BenchmarkMinVertexCutWarm measures the steady state of the enumeration
+// recursion: a pooled scratch rebuilds the network in place and the
+// query undoes only what the previous one touched. Allocs/op must be 0
+// (guarded by TestMinVertexCutZeroAllocsSteadyState and
+// TestNetworkScratchRebuildZeroAllocs).
+func BenchmarkMinVertexCutWarm(b *testing.B) {
+	g := benchGraph(500, 0.05, 1)
+	var s Scratch
+	nw := NewNetworkScratch(g, 20, &s)
+	nw.MinVertexCut(0, 250)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := NewNetworkScratch(g, 20, &s)
+		nw.MinVertexCut(0, 250+i%200)
+	}
+}
+
 // BenchmarkMinVertexCutDense exercises the early-termination path where
 // κ(u,v) >= bound and all bound augmenting paths are found.
 func BenchmarkMinVertexCutDense(b *testing.B) {

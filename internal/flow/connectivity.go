@@ -42,10 +42,19 @@ func GlobalVertexConnectivity(g *graph.Graph, bound int) (int, []int) {
 	u, _ := g.MinDegreeVertex()
 	nw := NewNetwork(g, bound)
 
+	// The early-termination limit shrinks to the best cut found so far:
+	// once a cut of size c < bound is known, later pairs only need to
+	// answer "is κ(a,b) < c?", so their queries stop augmenting after c
+	// units instead of running to the original bound. A connected graph
+	// has κ(a,b) >= 1 for every pair, so best = 1 cannot be improved and
+	// the remaining tests are skipped outright.
 	best := bound
 	var bestCut []int
 	consider := func(a, b int) {
-		cut, c, atLeast := nw.MinVertexCut(a, b)
+		if best == 1 {
+			return
+		}
+		cut, c, atLeast := nw.MinVertexCutLimit(a, b, best)
 		if !atLeast && c < best {
 			best, bestCut = c, cut
 		}

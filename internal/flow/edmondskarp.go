@@ -3,7 +3,7 @@ package flow
 // Alternative augmenting engine: Edmonds-Karp (one shortest augmenting
 // path per BFS) instead of Dinic's blocking flows. Both are exact; Dinic
 // amortizes one BFS over many augmentations, which is why it is the
-// default (see BenchmarkEngines and the ablation note in DESIGN.md).
+// default (see BenchmarkEngines and the ablation note in docs/DESIGN.md).
 
 // Engine selects the max-flow augmentation strategy of a Network.
 type Engine int
@@ -23,26 +23,25 @@ func (nw *Network) SetEngine(e Engine) { nw.engine = e }
 
 // maxFlowEK pushes one unit along a BFS-shortest augmenting path until
 // either `limit` units flow or no path remains. Returns the flow value.
+// The per-round visited set is the stamp half of the packed parent-arc
+// array — bumping the generation replaces the O(n) parentArc wipe the
+// engine used to pay before every BFS.
 func (nw *Network) maxFlowEK(src, dst int32, limit int) int {
-	// parentArc[v] is the arc used to reach v in the current BFS.
-	if nw.parentArc == nil {
-		nw.parentArc = make([]int32, len(nw.level))
-	}
+	nw.parent = growUint64(nw.parent, len(nw.level))
 	value := 0
 	for value < limit {
-		for i := range nw.parentArc {
-			nw.parentArc[i] = -1
-		}
-		nw.parentArc[src] = -2 // mark visited without a parent
+		gen := nextGen(&nw.parentGen, nw.parent)
+		// Mark src visited; its parent arc is never read.
+		nw.parent[src] = pack(gen, ^uint32(0))
 		nw.queue = append(nw.queue[:0], src)
 		found := false
 	search:
 		for head := 0; head < len(nw.queue); head++ {
 			node := nw.queue[head]
-			for _, a := range nw.arcs(node) {
+			for a := nw.arcStart[node]; a < nw.arcStart[node+1]; a++ {
 				to := nw.arcHead[a]
-				if nw.arcCap[a] > 0 && nw.parentArc[to] == -1 {
-					nw.parentArc[to] = a
+				if nw.arcCap[a] > 0 && !stamped(nw.parent[to], gen) {
+					nw.parent[to] = pack(gen, uint32(a))
 					if to == dst {
 						found = true
 						break search
@@ -57,10 +56,13 @@ func (nw *Network) maxFlowEK(src, dst int32, limit int) int {
 		// Trace back and push one unit (every path crosses a unit vertex
 		// arc, so the bottleneck is 1).
 		for node := dst; node != src; {
-			a := nw.parentArc[node]
+			a := int32(uint32(nw.parent[node]))
+			rev := nw.arcRev[a]
+			nw.touch(a)
+			nw.touch(rev)
 			nw.arcCap[a]--
-			nw.arcCap[a^1]++
-			node = nw.arcHead[a^1]
+			nw.arcCap[rev]++
+			node = nw.arcHead[rev]
 		}
 		value++
 	}

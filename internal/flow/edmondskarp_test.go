@@ -70,7 +70,7 @@ func TestEdmondsKarpEarlyTermination(t *testing.T) {
 }
 
 // BenchmarkEngines is the ablation for the Dinic-vs-Edmonds-Karp design
-// choice called out in DESIGN.md.
+// choice called out in docs/DESIGN.md.
 func BenchmarkEngines(b *testing.B) {
 	g := benchGraph(400, 0.08, 5)
 	for _, tc := range []struct {

@@ -1,0 +1,141 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A pooled network rebuilt across many graphs must answer exactly like a
+// fresh network built for each graph — the in-place rebuild may leave
+// stale bytes in the hidden capacity of its buffers, and none of them may
+// leak into answers.
+func TestNetworkScratchReuseAcrossGraphs(t *testing.T) {
+	var s Scratch
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Alternate sizes so the scratch both grows and shrinks.
+		n := 5 + rng.Intn(12)
+		g := randomConnectedGraph(n, 0.3, rng)
+		bound := 1 + rng.Intn(n-1)
+		pooled := NewNetworkScratch(g, bound, &s)
+		fresh := NewNetwork(g, bound)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				cutP, cP, atLeastP := pooled.MinVertexCut(u, v)
+				cutF, cF, atLeastF := fresh.MinVertexCut(u, v)
+				if cP != cF || atLeastP != atLeastF || len(cutP) != len(cutF) {
+					t.Fatalf("seed %d bound %d (%d,%d): pooled (%v,%d,%v) vs fresh (%v,%d,%v)",
+						seed, bound, u, v, cutP, cP, atLeastP, cutF, cF, atLeastF)
+				}
+				for i := range cutP {
+					if cutP[i] != cutF[i] {
+						t.Fatalf("seed %d (%d,%d): cut %v vs %v", seed, u, v, cutP, cutF)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The undo log must restore the residual capacities exactly: after any
+// query sequence, the next query's undo leaves arcCap identical to
+// arcInit.
+func TestUndoLogRestoresCapacities(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomConnectedGraph(20, 0.25, rng)
+	nw := NewNetwork(g, 4)
+	for trial := 0; trial < 50; trial++ {
+		u, v := rng.Intn(20), rng.Intn(20)
+		nw.MinVertexCut(u, v)
+		nw.undo()
+		for a := range nw.arcCap {
+			if nw.arcCap[a] != nw.arcInit[a] {
+				t.Fatalf("trial %d after (%d,%d): arc %d cap %d != init %d",
+					trial, u, v, a, nw.arcCap[a], nw.arcInit[a])
+			}
+		}
+	}
+}
+
+// Steady-state MinVertexCut must not allocate: the undo log, generation
+// stamps, and pooled buffers make a warm query heap-free. This is the
+// allocation-regression guard for the zero-reset engine.
+func TestMinVertexCutZeroAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnectedGraph(120, 0.1, rng)
+	var s Scratch
+	nw := NewNetworkScratch(g, 5, &s)
+	// Warm up every buffer (undo log, queue, DFS stack) across a mix of
+	// separable and non-separable pairs.
+	for u := 0; u < 30; u++ {
+		nw.MinVertexCut(u, 119-u)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, atLeast := nw.MinVertexCut(3, 97); !atLeast {
+			// κ >= bound here; the cut-returning path allocates exactly
+			// the returned slice and is guarded separately below.
+			t.Fatal("expected atLeastBound pair")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm MinVertexCut allocated %.1f times per run, want 0", allocs)
+	}
+
+	// A cut-returning query may allocate only the cut it hands back.
+	cycle8 := cycle(8)
+	nwc := NewNetworkScratch(cycle8, 7, &s)
+	nwc.MinVertexCut(0, 4) // warm
+	allocs = testing.AllocsPerRun(200, func() {
+		cut, c, atLeast := nwc.MinVertexCut(0, 4)
+		if atLeast || c != 2 || len(cut) != 2 {
+			t.Fatalf("cycle cut = %v (κ=%d, atLeast=%v)", cut, c, atLeast)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("cut-returning MinVertexCut allocated %.1f times per run, want <= 1", allocs)
+	}
+}
+
+// Rebuilding a pooled network for graphs it has already seen must be
+// allocation-free.
+func TestNetworkScratchRebuildZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomConnectedGraph(60, 0.15, rng)
+	b := randomConnectedGraph(40, 0.3, rng)
+	var s Scratch
+	NewNetworkScratch(a, 4, &s)
+	NewNetworkScratch(b, 4, &s)
+	allocs := testing.AllocsPerRun(100, func() {
+		nw := NewNetworkScratch(a, 4, &s)
+		nw.MinVertexCut(0, 30)
+		nw = NewNetworkScratch(b, 4, &s)
+		nw.MinVertexCut(0, 20)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm rebuild allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// MinVertexCutLimit must honor limits tighter than the build bound and
+// reject out-of-range ones.
+func TestMinVertexCutLimit(t *testing.T) {
+	g := cycle(10) // κ = 2 between antipodal vertices
+	nw := NewNetwork(g, 8)
+	if _, c, atLeast := nw.MinVertexCutLimit(0, 5, 2); !atLeast || c != 2 {
+		t.Fatalf("limit 2: got (%d,%v), want atLeastLimit at 2", c, atLeast)
+	}
+	cut, c, atLeast := nw.MinVertexCutLimit(0, 5, 3)
+	if atLeast || c != 2 || len(cut) != 2 {
+		t.Fatalf("limit 3: got (%v,%d,%v), want the 2-cut", cut, c, atLeast)
+	}
+	for _, bad := range []int{0, -1, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("limit %d: expected panic", bad)
+				}
+			}()
+			nw.MinVertexCutLimit(0, 5, bad)
+		}()
+	}
+}

@@ -30,18 +30,73 @@ type Certificate struct {
 	GroupID []int
 }
 
-// Compute builds the sparse certificate of g for parameter k by running k
-// rounds of scan-first search. Round i builds a spanning forest F_i of the
-// graph G_{i-1} = (V, E - F_1 - ... - F_{i-1}); the certificate is the
-// union of the k forests.
+// Scratch carries the construction buffers of ComputeScratch across
+// calls: the per-edge id table and its fill cursors, the forest/BFS state
+// of the scan-first rounds, and the union-find plus flat member storage
+// behind the side groups. The enumeration recursion computes one
+// certificate per component at every level, so reusing one Scratch per
+// worker removes every per-call allocation except the certificate graph
+// itself. The zero value is ready to use; a Scratch is not safe for
+// concurrent use.
+type Scratch struct {
+	eids      []int32
+	cursor    []int
+	used      []bool
+	marked    []bool
+	queue     []int
+	certEdges [][2]int
+
+	// sideGroups state. groupID, members and groups back the returned
+	// Certificate, which therefore stays valid only until the next
+	// ComputeScratch call with this Scratch.
+	parent  []int
+	count   []int
+	groupID []int
+	members []int
+	groups  [][]int
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// Compute builds the sparse certificate of g for parameter k with
+// one-shot buffers; see ComputeScratch.
+func Compute(g *graph.Graph, k int) *Certificate {
+	return ComputeScratch(g, k, nil)
+}
+
+// ComputeScratch builds the sparse certificate of g for parameter k by
+// running k rounds of scan-first search, reusing s's buffers (a nil s
+// uses fresh ones). Round i builds a spanning forest F_i of the graph
+// G_{i-1} = (V, E - F_1 - ... - F_{i-1}); the certificate is the union of
+// the k forests.
 //
 // All per-round scratch (the BFS queue, the forest edge accumulator) is
 // carried across rounds, and edge ids live in one flat array parallel to
 // the graph's CSR edge array, so the whole construction performs a
-// constant number of allocations regardless of round count.
-func Compute(g *graph.Graph, k int) *Certificate {
+// constant number of allocations regardless of round count — and, with a
+// warmed-up Scratch, none beyond the certificate graph itself.
+//
+// The returned Certificate's SideGroups and GroupID are backed by s and
+// are valid only until the next ComputeScratch call with the same s; the
+// SC graph is independently allocated and unrestricted.
+func ComputeScratch(g *graph.Graph, k int, s *Scratch) *Certificate {
 	if k < 1 {
 		panic("sparse: k must be >= 1")
+	}
+	if s == nil {
+		s = &Scratch{}
 	}
 	n := g.NumVertices()
 	offsets, adj := g.Adjacency()
@@ -49,8 +104,12 @@ func Compute(g *graph.Graph, k int) *Certificate {
 	// Assign every undirected edge an id so forests can mark edges used.
 	// eids is parallel to the flat CSR edge array: eids[offsets[v]+i] is
 	// the id of the edge to g.Neighbors(v)[i].
-	eids := make([]int32, len(adj))
-	cursor := make([]int, n)
+	if cap(s.eids) < len(adj) {
+		s.eids = make([]int32, len(adj))
+	}
+	eids := s.eids[:len(adj)]
+	cursor := growInts(s.cursor, n)
+	s.cursor = cursor
 	copy(cursor, offsets[:n])
 	next := int32(0)
 	// Two-pointer pass: for u < v assign a fresh id and record it on both
@@ -71,10 +130,13 @@ func Compute(g *graph.Graph, k int) *Certificate {
 		}
 	}
 
-	used := make([]bool, g.NumEdges())
-	marked := make([]bool, n)
-	queue := make([]int, 0, n)
-	certEdges := make([][2]int, 0, max(0, min(k*(n-1), g.NumEdges())))
+	used := growBools(s.used, g.NumEdges())
+	s.used = used
+	clear(used)
+	marked := growBools(s.marked, n)
+	s.marked = marked
+	queue := s.queue[:0]
+	certEdges := s.certEdges[:0]
 	lastStart := -1 // start of F_k within certEdges, or -1 if never built
 
 	for round := 0; round < k; round++ {
@@ -87,12 +149,14 @@ func Compute(g *graph.Graph, k int) *Certificate {
 			lastStart = roundStart
 		}
 	}
+	s.queue = queue
+	s.certEdges = certEdges
 	var lastForest [][2]int
 	if lastStart >= 0 {
 		lastForest = certEdges[lastStart:]
 	}
 	sc := g.SpanningSubgraph(certEdges)
-	groups, groupID := sideGroups(n, lastForest, k)
+	groups, groupID := sideGroups(n, lastForest, k, s)
 	return &Certificate{SC: sc, SideGroups: groups, GroupID: groupID}
 }
 
@@ -103,9 +167,7 @@ func Compute(g *graph.Graph, k int) *Certificate {
 // scan-first search).
 func scanFirstForest(g *graph.Graph, offsets, adj []int, eids []int32, used, marked []bool, queue []int, forest [][2]int) ([][2]int, []int) {
 	n := g.NumVertices()
-	for i := range marked {
-		marked[i] = false
-	}
+	clear(marked)
 	for root := 0; root < n; root++ {
 		if marked[root] {
 			continue
@@ -132,15 +194,18 @@ func scanFirstForest(g *graph.Graph, offsets, adj []int, eids []int32, used, mar
 // sideGroups groups vertices by connected component of the k-th forest and
 // keeps components with more than k vertices (smaller groups cannot trigger
 // the group-deposit rule, Theorem 11, and are ignored as in Section 5.3).
-func sideGroups(n int, forest [][2]int, k int) ([][]int, []int) {
-	groupID := make([]int, n)
+// The returned slices are backed by s.
+func sideGroups(n int, forest [][2]int, k int, s *Scratch) ([][]int, []int) {
+	groupID := growInts(s.groupID, n)
+	s.groupID = groupID
 	for i := range groupID {
 		groupID[i] = -1
 	}
 	if len(forest) == 0 {
 		return nil, groupID
 	}
-	parent := make([]int, n)
+	parent := growInts(s.parent, n)
+	s.parent = parent
 	for i := range parent {
 		parent[i] = i
 	}
@@ -163,17 +228,27 @@ func sideGroups(n int, forest [][2]int, k int) ([][]int, []int) {
 	// by smallest member, members ascending). A root's count is flipped to
 	// -(id+1) once its group is allocated, which lets the scan distinguish
 	// "qualifying, unassigned" from "assigned" with no extra array.
-	count := make([]int, n)
+	//
+	// Member lists live in one flat buffer: every qualifying root's size
+	// is known when its group is allocated, so each group receives a
+	// capacity-exact subslice and appends never reallocate.
+	count := growInts(s.count, n)
+	s.count = count
+	clear(count)
 	for v := 0; v < n; v++ {
 		count[find(v)]++
 	}
-	var groups [][]int
+	members := growInts(s.members, n)
+	s.members = members
+	nextMember := 0
+	groups := s.groups[:0]
 	for v := 0; v < n; v++ {
 		r := find(v)
 		switch c := count[r]; {
 		case c > k:
 			id := len(groups)
-			groups = append(groups, make([]int, 0, c))
+			groups = append(groups, members[nextMember:nextMember:nextMember+c])
+			nextMember += c
 			count[r] = -(id + 1)
 			groupID[v] = id
 			groups[id] = append(groups[id], v)
@@ -183,12 +258,6 @@ func sideGroups(n int, forest [][2]int, k int) ([][]int, []int) {
 			groups[id] = append(groups[id], v)
 		}
 	}
+	s.groups = groups
 	return groups, groupID
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
