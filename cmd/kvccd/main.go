@@ -304,6 +304,57 @@ func runSelfTest(srv *server.Server, indexMaxK int, stdout, stderr io.Writer) in
 	fmt.Fprintf(stdout, "selftest: cache hits=%d misses=%d, enumerations=%d, index-served=%d (%.1fms total)\n",
 		stats.Cache.Hits, stats.Cache.Misses, stats.Enumerations.Started,
 		stats.Enumerations.IndexServed, stats.Enumerations.TotalMS)
+
+	// Dynamic layer: graft a fresh K6 onto the graph under labels far
+	// outside any realistic dataset, verify the edit bumped the version,
+	// and query the new community back out at k=5.
+	const editBase = int64(1) << 40
+	var grafted [][2]int64
+	for i := int64(0); i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			grafted = append(grafted, [2]int64{editBase + i, editBase + j})
+		}
+	}
+	edit, err := client.Edits(ctx, server.EditsRequest{Graph: name, Inserts: grafted})
+	if err != nil {
+		return fail("edits", err)
+	}
+	if edit.AppliedInserts != len(grafted) || edit.Version < 2 {
+		return fail("edits", fmt.Errorf("grafted %d edges but response says %d applied at version %d",
+			len(grafted), edit.AppliedInserts, edit.Version))
+	}
+	fmt.Fprintf(stdout, "selftest: grafted a K6 in %.1fms (version %d, affected k<=%d, cache kept/dropped %d/%d)\n",
+		edit.ElapsedMS, edit.Version, edit.AffectedMaxK, edit.CacheKept, edit.CacheInvalidated)
+	infos, err = client.Graphs(ctx)
+	if err != nil || len(infos) == 0 {
+		return fail("graphs (after edit)", err)
+	}
+	if infos[0].Version != edit.Version {
+		return fail("graphs (after edit)", fmt.Errorf("graph info version %d, edit reported %d",
+			infos[0].Version, edit.Version))
+	}
+	containing, err := client.ComponentsContaining(ctx, server.ContainingRequest{
+		Graph: name, K: 5, Vertex: editBase,
+	})
+	if err != nil {
+		return fail("components-containing (grafted)", err)
+	}
+	if len(containing.Components) != 1 || containing.Components[0].NumVertices != 6 {
+		return fail("components-containing (grafted)",
+			fmt.Errorf("grafted K6 not recovered: %+v", containing.Components))
+	}
+	fmt.Fprintf(stdout, "selftest: grafted K6 recovered as a 5-VCC of %d vertices\n",
+		containing.Components[0].NumVertices)
+
+	// Removal: the daemon must forget the graph entirely.
+	if err := client.RemoveGraph(ctx, name); err != nil {
+		return fail("remove-graph", err)
+	}
+	if _, err := client.Enumerate(ctx, server.EnumerateRequest{Graph: name, K: 2}); err == nil {
+		return fail("remove-graph", fmt.Errorf("graph %q still answers after removal", name))
+	}
+	fmt.Fprintf(stdout, "selftest: graph %q removed\n", name)
+
 	fmt.Fprintln(stdout, "selftest: ok")
 	return 0
 }

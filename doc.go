@@ -47,9 +47,22 @@
 // of the effectiveness study (Section 6.1). Validate independently checks
 // a result against Definition 1.
 //
+// # Dynamic graphs
+//
+// Graphs need not be frozen: NewDynamic wraps one in a mutation overlay
+// and keeps its k-VCCs current across edits. ApplyEdits applies a batch
+// of edge insertions and deletions (by vertex label; inserts create
+// vertices on first mention) and recomputes only the k-core connected
+// components the batch touched — every k-VCC lives inside exactly one
+// such component, so components whose structure an edit left alone are
+// served verbatim from the previous result. The maintained Result is
+// indistinguishable from a from-scratch enumeration at the same version.
+// EnumerateIncremental exposes the same reuse against any prior Result.
+//
 // Sub-packages:
 //
-//   - graph: the immutable graph data structure all algorithms operate on
+//   - graph: the immutable CSR graph all algorithms operate on, plus the
+//     Delta mutation overlay behind the dynamic API
 //   - graphio: SNAP-style edge-list reading and writing
 //   - metrics: diameter, edge density, clustering coefficient (Eqs. 1-6)
 //   - gen: deterministic synthetic graph generators

@@ -1,0 +1,246 @@
+package kvcc_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"kvcc"
+	"kvcc/gen"
+	"kvcc/graph"
+)
+
+// editScript drives a deterministic random edit sequence over the label
+// range of g: a mix of deletions of existing edges and insertions of new
+// ones (occasionally touching brand-new vertices).
+func editScript(g *graph.Graph, steps int, seed int64) (inserts, deletes [][2]int64) {
+	rng := rand.New(rand.NewSource(seed))
+	labels := g.Labels()
+	n := int64(len(labels))
+	edges := g.Edges(nil)
+	for i := 0; i < steps; i++ {
+		if rng.Intn(2) == 0 && len(edges) > 0 {
+			e := edges[rng.Intn(len(edges))]
+			deletes = append(deletes, [2]int64{g.Label(e[0]), g.Label(e[1])})
+		} else {
+			a := rng.Int63n(n + 3) // labels just past the range create vertices
+			b := rng.Int63n(n + 3)
+			inserts = append(inserts, [2]int64{a, b})
+		}
+	}
+	return inserts, deletes
+}
+
+func communityGraph(seed int64) *graph.Graph {
+	g, _ := gen.Planted(gen.PlantedConfig{
+		Communities: 6, MinSize: 8, MaxSize: 14, IntraProb: 0.85,
+		ChainOverlap: 2, ChainEvery: 2, BridgeEdges: 4,
+		NoiseVertices: 40, NoiseDegree: 2, Seed: seed,
+	})
+	return g
+}
+
+// checkSameComponents fails unless the two results hold identical
+// component label sets in identical canonical order.
+func checkSameComponents(t *testing.T, got, want *kvcc.Result) {
+	t.Helper()
+	if len(got.Components) != len(want.Components) {
+		t.Fatalf("%d components, want %d", len(got.Components), len(want.Components))
+	}
+	for i := range got.Components {
+		a := got.Components[i].Labels()
+		b := want.Components[i].Labels()
+		set := map[int64]bool{}
+		for _, l := range a {
+			set[l] = true
+		}
+		if len(a) != len(b) {
+			t.Fatalf("component %d: %d vertices, want %d", i, len(a), len(b))
+		}
+		for _, l := range b {
+			if !set[l] {
+				t.Fatalf("component %d: missing label %d", i, l)
+			}
+		}
+	}
+}
+
+func TestDynamicIncrementalEqualsCold(t *testing.T) {
+	g := communityGraph(9)
+	const k = 5
+	d, err := kvcc.NewDynamic(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := d.Graph()
+	for round := 0; round < 6; round++ {
+		inserts, deletes := editScript(cur, 8, int64(100+round))
+		res, err := d.ApplyEdits(context.Background(), inserts, deletes)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		cur = d.Graph()
+		cold, err := kvcc.Enumerate(cur, k)
+		if err != nil {
+			t.Fatalf("round %d cold: %v", round, err)
+		}
+		checkSameComponents(t, res, cold)
+		if res.Version != d.Version() {
+			t.Fatalf("round %d: result version %d, handle version %d", round, res.Version, d.Version())
+		}
+	}
+}
+
+func TestDynamicSingleEditRecomputesOneComponent(t *testing.T) {
+	// Two far-apart cliques: an edit inside one must reuse the other.
+	var edges [][2]int
+	for c := 0; c < 2; c++ {
+		off := c * 10
+		for i := 0; i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				edges = append(edges, [2]int{off + i, off + j})
+			}
+		}
+	}
+	g := graph.FromEdges(20, edges)
+	d, err := kvcc.NewDynamic(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.ApplyEdits(context.Background(), nil, [][2]int64{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ComponentsReused != 1 {
+		t.Fatalf("ComponentsReused = %d, want 1", res.Stats.ComponentsReused)
+	}
+	if res.Stats.ComponentsRecomputed != 1 {
+		t.Fatalf("ComponentsRecomputed = %d, want 1", res.Stats.ComponentsRecomputed)
+	}
+	if len(res.Components) != 2 {
+		t.Fatalf("%d components, want 2", len(res.Components))
+	}
+}
+
+func TestDynamicNoOpBatchKeepsResult(t *testing.T) {
+	g := communityGraph(3)
+	d, err := kvcc.NewDynamic(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Result()
+	v := d.Version()
+	// Deleting an absent edge and re-inserting an existing one change nothing.
+	existing := g.Edges(nil)[0]
+	res, err := d.ApplyEdits(context.Background(),
+		[][2]int64{{g.Label(existing[0]), g.Label(existing[1])}},
+		[][2]int64{{-5, -6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != before {
+		t.Fatal("no-op batch must return the current result unchanged")
+	}
+	if d.Version() != v {
+		t.Fatalf("no-op batch moved the version %d -> %d", v, d.Version())
+	}
+}
+
+func TestDynamicCancelledUpdateConverges(t *testing.T) {
+	g := communityGraph(5)
+	d, err := kvcc.NewDynamic(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.ApplyEdits(cancelled, [][2]int64{{100000, 100001}, {100001, 0}}, nil); err == nil {
+		t.Fatal("cancelled update must fail")
+	}
+	// The edits are recorded; an empty retry converges to the new version.
+	res, err := d.ApplyEdits(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != d.Version() {
+		t.Fatalf("result version %d lags handle version %d after retry", res.Version, d.Version())
+	}
+	cold, err := kvcc.Enumerate(d.Graph(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameComponents(t, res, cold)
+}
+
+// TestDynamicConcurrentEditsAndQueries hammers ApplyEdits against reads
+// on the same handle. Run under -race this is the data-race guard for the
+// whole dynamic layer: mutation batches serialize on the handle's lock
+// while readers keep serving the previous immutable snapshot.
+func TestDynamicConcurrentEditsAndQueries(t *testing.T) {
+	g := communityGraph(7)
+	const k = 4
+	d, err := kvcc.NewDynamic(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: streams of small random batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 30; i++ {
+			var ins, del [][2]int64
+			for j := 0; j < 3; j++ {
+				a, b := rng.Int63n(120), rng.Int63n(120)
+				if rng.Intn(2) == 0 {
+					ins = append(ins, [2]int64{a, b})
+				} else {
+					del = append(del, [2]int64{a, b})
+				}
+			}
+			if _, err := d.ApplyEdits(context.Background(), ins, del); err != nil {
+				t.Errorf("ApplyEdits: %v", err)
+				return
+			}
+		}
+		close(stop)
+	}()
+
+	// Readers: enumerate-equivalent queries against whatever snapshot is
+	// current, exercising the Result's lazy label index concurrently.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := d.Result()
+				_ = res.ComponentsContaining(rng.Int63n(120))
+				_ = res.VertexLabels()
+				snap := d.Graph()
+				_ = snap.NumEdges()
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+
+	// After the dust settles the handle must agree with a cold run.
+	res, err := d.ApplyEdits(context.Background(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := kvcc.Enumerate(d.Graph(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameComponents(t, res, cold)
+}

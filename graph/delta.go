@@ -1,0 +1,326 @@
+package graph
+
+import "sort"
+
+// Delta is a mutation overlay on an immutable base Graph: pending edge
+// insertions and deletions plus appended vertices, with a monotonically
+// increasing version stamp. The base CSR is never touched; reads
+// (Neighbors, HasEdge, Degree) merge the overlay on the fly, and Compact
+// materializes a fresh normalized CSR through the same counting-sort
+// skeleton the static builders use, rebasing the overlay onto it.
+//
+// Vertex ids are stable across the overlay's lifetime: base vertices keep
+// their ids, new vertices are appended after them, and Compact preserves
+// the numbering. Labels remain the external identity, so edits are
+// addressed by label (creating vertices on first mention) and every
+// subgraph extracted from a compacted snapshot lines up with earlier ones.
+//
+// A Delta is not safe for concurrent use; callers that share one (the
+// kvcc.Dynamic handle, the server's edit path) serialize access
+// themselves. Compacted snapshots are plain immutable Graphs and may be
+// read concurrently with further mutations of the Delta.
+type Delta struct {
+	base    *Graph
+	version uint64
+
+	labels []int64       // all labels: base labels + appended vertices
+	index  map[int64]int // label -> vertex id over base+new
+
+	// Pending insertions, as normalized (u<v) pairs. insPos is the
+	// membership index into insList; insList keeps a deterministic
+	// iteration order for Compact's two-pass counting sort (map iteration
+	// order would desynchronize the passes).
+	insPos  map[[2]int]int
+	insList [][2]int
+
+	// Pending deletions of base edges, as normalized (u<v) pairs.
+	del map[[2]int]bool
+
+	// insAdj holds each vertex's inserted neighbors in ascending order,
+	// so merged Neighbors reads stay sorted without re-sorting per call.
+	insAdj map[int][]int
+
+	// degDelta is the per-vertex degree adjustment from pending edits.
+	degDelta map[int]int
+
+	m int // current undirected edge count (base +inserts -deletes)
+
+	// compacted caches the last Compact result until the next mutation.
+	compacted *Graph
+}
+
+// NewDelta returns an overlay on base with no pending edits, at version 1.
+// A nil base is treated as the empty graph.
+func NewDelta(base *Graph) *Delta {
+	if base == nil {
+		base = &Graph{}
+	}
+	d := &Delta{
+		base:     base,
+		version:  1,
+		labels:   append([]int64(nil), base.labels...),
+		index:    base.LabelIndex(),
+		insPos:   make(map[[2]int]int),
+		del:      make(map[[2]int]bool),
+		insAdj:   make(map[int][]int),
+		degDelta: make(map[int]int),
+		m:        base.m,
+	}
+	d.compacted = base
+	return d
+}
+
+// Base returns the graph the overlay currently rebases onto. Compact
+// replaces it with the materialized snapshot.
+func (d *Delta) Base() *Graph { return d.base }
+
+// Version returns the overlay's version stamp. It starts at 1 and
+// increases by one for every effective mutation (an insert, delete or
+// vertex addition that changed the graph); no-op edits do not bump it.
+func (d *Delta) Version() uint64 { return d.version }
+
+// NumVertices returns the vertex count including appended vertices.
+func (d *Delta) NumVertices() int { return len(d.labels) }
+
+// NumEdges returns the undirected edge count of base plus the overlay.
+func (d *Delta) NumEdges() int { return d.m }
+
+// Pending returns the number of pending edge insertions and deletions.
+func (d *Delta) Pending() (inserts, deletes int) {
+	return len(d.insList), len(d.del)
+}
+
+// Label returns the label of vertex v.
+func (d *Delta) Label(v int) int64 { return d.labels[v] }
+
+// Labels returns the label slice indexed by vertex id. The slice is shared
+// with the overlay and must not be modified.
+func (d *Delta) Labels() []int64 { return d.labels }
+
+// IndexOfLabel returns the vertex id of the given label, or -1 if absent.
+func (d *Delta) IndexOfLabel(l int64) int {
+	if v, ok := d.index[l]; ok {
+		return v
+	}
+	return -1
+}
+
+// AddVertex ensures a vertex labeled l exists and returns its id, plus
+// whether it was newly created (which bumps the version).
+func (d *Delta) AddVertex(l int64) (v int, added bool) {
+	if v, ok := d.index[l]; ok {
+		return v, false
+	}
+	v = len(d.labels)
+	d.index[l] = v
+	d.labels = append(d.labels, l)
+	d.mutated()
+	return v, true
+}
+
+// baseN returns the number of vertices in the base graph.
+func (d *Delta) baseN() int { return len(d.base.labels) }
+
+// edgeKey normalizes an edge to its (min,max) id pair.
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// hasEffective reports whether edge (u,v) exists in base+overlay.
+func (d *Delta) hasEffective(u, v int) bool {
+	key := edgeKey(u, v)
+	if _, ok := d.insPos[key]; ok {
+		return true
+	}
+	if d.del[key] {
+		return false
+	}
+	return u < d.baseN() && v < d.baseN() && d.base.HasEdge(u, v)
+}
+
+// InsertEdge records the undirected edge between the vertices labeled lu
+// and lv, creating either vertex on first mention. It returns true when
+// the graph changed (the edge was absent), false for self-loops and
+// already-present edges. A vertex created for a no-op insert still counts
+// as a change.
+func (d *Delta) InsertEdge(lu, lv int64) bool {
+	if lu == lv {
+		return false
+	}
+	u, addedU := d.AddVertex(lu)
+	v, addedV := d.AddVertex(lv)
+	if d.hasEffective(u, v) {
+		return addedU || addedV
+	}
+	key := edgeKey(u, v)
+	if d.del[key] {
+		// Re-inserting a deleted base edge restores it.
+		delete(d.del, key)
+	} else {
+		d.insPos[key] = len(d.insList)
+		d.insList = append(d.insList, key)
+		d.insertAdj(key[0], key[1])
+		d.insertAdj(key[1], key[0])
+	}
+	d.degDelta[u]++
+	d.degDelta[v]++
+	d.m++
+	d.mutated()
+	return true
+}
+
+// DeleteEdge removes the undirected edge between the vertices labeled lu
+// and lv. It returns true when the graph changed; unknown labels, absent
+// edges and self-loops are no-ops. Vertices are never removed — deleting
+// a vertex's last edge leaves it isolated (the k-core reduction of any
+// downstream enumeration discards it anyway).
+func (d *Delta) DeleteEdge(lu, lv int64) bool {
+	if lu == lv {
+		return false
+	}
+	u, okU := d.index[lu]
+	v, okV := d.index[lv]
+	if !okU || !okV || !d.hasEffective(u, v) {
+		return false
+	}
+	key := edgeKey(u, v)
+	if pos, ok := d.insPos[key]; ok {
+		// Deleting a pending insert cancels it. Swap-delete keeps insList
+		// compact; the order only needs to be stable within one Compact.
+		last := len(d.insList) - 1
+		moved := d.insList[last]
+		d.insList[pos] = moved
+		d.insPos[moved] = pos
+		d.insList = d.insList[:last]
+		delete(d.insPos, key)
+		d.removeAdj(key[0], key[1])
+		d.removeAdj(key[1], key[0])
+	} else {
+		d.del[key] = true
+	}
+	d.degDelta[u]--
+	d.degDelta[v]--
+	d.m--
+	d.mutated()
+	return true
+}
+
+// mutated bumps the version and invalidates the compacted snapshot.
+func (d *Delta) mutated() {
+	d.version++
+	d.compacted = nil
+}
+
+// insertAdj places w into v's sorted inserted-neighbor list.
+func (d *Delta) insertAdj(v, w int) {
+	list := d.insAdj[v]
+	i := sort.SearchInts(list, w)
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = w
+	d.insAdj[v] = list
+}
+
+// removeAdj removes w from v's inserted-neighbor list.
+func (d *Delta) removeAdj(v, w int) {
+	list := d.insAdj[v]
+	i := sort.SearchInts(list, w)
+	if i < len(list) && list[i] == w {
+		list = append(list[:i], list[i+1:]...)
+	}
+	if len(list) == 0 {
+		delete(d.insAdj, v)
+	} else {
+		d.insAdj[v] = list
+	}
+}
+
+// Degree returns the degree of vertex v over base+overlay.
+func (d *Delta) Degree(v int) int {
+	deg := 0
+	if v < d.baseN() {
+		deg = d.base.Degree(v)
+	}
+	return deg + d.degDelta[v]
+}
+
+// HasEdge reports whether the undirected edge (u,v) exists over
+// base+overlay.
+func (d *Delta) HasEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= len(d.labels) || v >= len(d.labels) {
+		return false
+	}
+	return d.hasEffective(u, v)
+}
+
+// Neighbors returns the sorted adjacency of v over base+overlay. Unlike
+// Graph.Neighbors it allocates a fresh slice per call (the merged view has
+// no contiguous backing); enumeration-grade reads should Compact first.
+func (d *Delta) Neighbors(v int) []int {
+	var baseRun []int
+	if v < d.baseN() {
+		baseRun = d.base.Neighbors(v)
+	}
+	ins := d.insAdj[v]
+	out := make([]int, 0, len(baseRun)+len(ins))
+	i, j := 0, 0
+	for i < len(baseRun) || j < len(ins) {
+		switch {
+		case j == len(ins) || (i < len(baseRun) && baseRun[i] < ins[j]):
+			w := baseRun[i]
+			i++
+			if !d.del[edgeKey(v, w)] {
+				out = append(out, w)
+			}
+		default:
+			out = append(out, ins[j])
+			j++
+		}
+	}
+	return out
+}
+
+// Compact materializes the overlay into a fresh normalized CSR Graph —
+// via the same counting-sort skeleton the static builders use — rebases
+// the overlay onto it (pending edits drain into the new base), and
+// returns it. The version stamp is preserved, and the result is cached:
+// compacting twice without an intervening mutation returns the same
+// *Graph, so downstream consumers can use pointer identity as a cheap
+// "nothing changed" test.
+func (d *Delta) Compact() *Graph {
+	if d.compacted != nil {
+		return d.compacted
+	}
+	n := len(d.labels)
+	base := d.base
+	offsets, flat, m := buildCSR(n, func(pair func(u, v int)) {
+		for u := 0; u < len(base.labels); u++ {
+			for _, w := range base.Neighbors(u) {
+				if u < w && !d.del[[2]int{u, w}] {
+					pair(u, w)
+				}
+			}
+		}
+		for _, e := range d.insList {
+			pair(e[0], e[1])
+		}
+	})
+	g := &Graph{
+		offsets: offsets,
+		edges:   flat,
+		labels:  append([]int64(nil), d.labels...),
+		m:       m,
+	}
+	d.base = g
+	d.insPos = make(map[[2]int]int)
+	d.insList = nil
+	d.del = make(map[[2]int]bool)
+	d.insAdj = make(map[int][]int)
+	d.degDelta = make(map[int]int)
+	d.m = m
+	d.compacted = g
+	return g
+}

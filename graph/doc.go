@@ -23,5 +23,8 @@
 // Construct graphs with Builder (labels assigned on first use), FromEdges
 // (contiguous vertices), or the subgraph operations InducedSubgraph,
 // InducedSubgraphByLabels, and SpanningSubgraph; parse them from edge
-// lists with the graphio package.
+// lists with the graphio package. A Graph is immutable once built; to
+// mutate one over time, wrap it in a Delta — a versioned overlay of edge
+// insertions, deletions and new vertices whose Compact method materializes
+// fresh immutable snapshots.
 package graph

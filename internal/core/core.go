@@ -105,6 +105,14 @@ type Stats struct {
 
 	CutFallbacks int64 `json:"cut_fallbacks"` // defensive re-computations of an invalid cut (expect 0)
 	PeakBytes    int64 `json:"peak_bytes"`    // peak structural bytes held by queued subgraphs + results
+
+	// Per-component accounting for the incremental maintenance path
+	// (internal/incr): of the k-core connected components of the input,
+	// how many were recomputed versus served verbatim from a previous
+	// result. A from-scratch run recomputes every component; a single-edge
+	// update typically recomputes one.
+	ComponentsRecomputed int64 `json:"components_recomputed,omitempty"`
+	ComponentsReused     int64 `json:"components_reused,omitempty"`
 }
 
 // String summarizes the statistics in one line.
@@ -132,6 +140,8 @@ func (s *Stats) Add(s2 *Stats) {
 	s.SSVDetected += s2.SSVDetected
 	s.SSVInherited += s2.SSVInherited
 	s.CutFallbacks += s2.CutFallbacks
+	s.ComponentsRecomputed += s2.ComponentsRecomputed
+	s.ComponentsReused += s2.ComponentsReused
 	if s2.PeakBytes > s.PeakBytes {
 		s.PeakBytes = s2.PeakBytes
 	}
@@ -155,19 +165,58 @@ func Enumerate(g *graph.Graph, k int, opts Options) ([]*graph.Graph, *Stats, err
 // the context between partition steps and returns ctx.Err() once it is
 // done, discarding partial results.
 func EnumerateContext(ctx context.Context, g *graph.Graph, k int, opts Options) ([]*graph.Graph, *Stats, error) {
+	return EnumerateComponentContext(ctx, g, k, opts)
+}
+
+// EnumerateComponentContext is the component-scoped entry point of the
+// enumeration engine: it decomposes one subgraph — typically a single
+// connected component of the k-core, as produced by internal/incr's
+// partition step — and returns its k-VCCs in canonical order. The engine
+// itself is general (it re-peels and re-splits defensively, so an
+// arbitrary graph is also accepted; EnumerateContext is exactly this
+// function on the whole graph), but the contract matters for incremental
+// maintenance: the k-VCCs of a graph are the disjoint union of the k-VCCs
+// of its k-core connected components, so callers may enumerate components
+// independently, cache per-component results, and merge.
+func EnumerateComponentContext(ctx context.Context, g *graph.Graph, k int, opts Options) ([]*graph.Graph, *Stats, error) {
 	if g == nil {
 		return nil, nil, errors.New("core: nil graph")
 	}
+	return EnumerateComponentsContext(ctx, []*graph.Graph{g}, k, opts)
+}
+
+// EnumerateComponentsContext decomposes a batch of vertex-disjoint
+// subgraphs — typically the k-core connected components an incremental
+// update needs to recompute — through one shared driver: every batch
+// member seeds the same task queue, so WithParallelism workers balance
+// across all components exactly as a whole-graph run would, instead of
+// draining one component at a time. The returned k-VCCs cover the whole
+// batch in canonical order (components are label-disjoint, so callers
+// can attribute each k-VCC to its batch member by any one label).
+func EnumerateComponentsContext(ctx context.Context, comps []*graph.Graph, k int, opts Options) ([]*graph.Graph, *Stats, error) {
 	if k < 1 {
 		return nil, nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	tasks := make([]task, 0, len(comps))
+	for _, g := range comps {
+		if g == nil {
+			return nil, nil, errors.New("core: nil graph")
+		}
+		tasks = append(tasks, task{g: g})
+	}
+	if len(tasks) == 0 {
+		// Nothing to do — and the parallel driver must not start: with an
+		// empty seed the task queue would never close and the workers
+		// would block in pop() forever.
+		return nil, &Stats{}, ctx.Err()
 	}
 	e := &enumerator{k: k, opts: opts, ctx: ctx}
 	var results []*graph.Graph
 	stats := &Stats{}
 	if opts.Parallelism >= 2 {
-		results = e.runParallel(g, stats)
+		results = e.runParallel(tasks, stats)
 	} else {
-		results = e.runSerial(g, stats)
+		results = e.runSerial(tasks, stats)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
@@ -226,12 +275,14 @@ func (ws *workspace) certificate(g *graph.Graph, k int) *sparse.Certificate {
 }
 
 // runSerial is the deterministic single-threaded driver.
-func (e *enumerator) runSerial(g *graph.Graph, stats *Stats) []*graph.Graph {
+func (e *enumerator) runSerial(seed []task, stats *Stats) []*graph.Graph {
 	var results []*graph.Graph
 	var ws workspace
-	queue := []task{{g: g}}
+	queue := append([]task(nil), seed...)
 	var liveBytes, resultBytes int64
-	liveBytes = g.Bytes()
+	for _, t := range seed {
+		liveBytes += t.g.Bytes()
+	}
 	for len(queue) > 0 {
 		if e.ctx.Err() != nil {
 			return nil
@@ -261,7 +312,7 @@ func (e *enumerator) runSerial(g *graph.Graph, stats *Stats) []*graph.Graph {
 // runSerial but uses atomics: each worker settles its task's byte delta
 // and races the observed total against the shared peak, so parallel runs
 // report a PeakBytes comparable to (not byte-equal with) the serial one.
-func (e *enumerator) runParallel(g *graph.Graph, stats *Stats) []*graph.Graph {
+func (e *enumerator) runParallel(seed []task, stats *Stats) []*graph.Graph {
 	var (
 		mu      sync.Mutex
 		results []*graph.Graph
@@ -271,9 +322,15 @@ func (e *enumerator) runParallel(g *graph.Graph, stats *Stats) []*graph.Graph {
 	// Mirror runSerial: the input starts as live bytes, and the peak is
 	// observed at task settlement points only, so a run that peels
 	// everything in one step reports 0 in both drivers.
-	liveBytes.Store(g.Bytes())
+	var seedBytes int64
+	for _, t := range seed {
+		seedBytes += t.g.Bytes()
+	}
+	liveBytes.Store(seedBytes)
 	q := newTaskQueue()
-	q.push(task{g: g})
+	for _, t := range seed {
+		q.push(t)
+	}
 	var workers sync.WaitGroup
 	for w := 0; w < e.opts.Parallelism; w++ {
 		workers.Add(1)

@@ -44,6 +44,21 @@ func TestHierarchyMatchesEnumeration(t *testing.T) {
 	}
 }
 
+// TestIncrementalEquivalence replays deterministic random edit scripts
+// over the full corpus and diffs the incrementally maintained result
+// against a from-scratch enumeration after every batch — the dynamic
+// layer's differential guarantee.
+func TestIncrementalEquivalence(t *testing.T) {
+	for _, c := range Corpus() {
+		t.Run(c.Name, func(t *testing.T) {
+			for k := 2; k <= c.MaxK; k++ {
+				script := EditScript(c.G, 3, 6, int64(1000+17*k))
+				CheckIncremental(t, c.G, k, script)
+			}
+		})
+	}
+}
+
 // TestAdversarialShapes pins the known connectivity structure of the
 // hand-built graphs, so a generator bug cannot silently weaken the suite.
 func TestAdversarialShapes(t *testing.T) {

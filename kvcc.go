@@ -8,6 +8,7 @@ import (
 	"kvcc/graph"
 	"kvcc/hierarchy"
 	"kvcc/internal/core"
+	"kvcc/internal/incr"
 	"kvcc/internal/kcore"
 	"kvcc/internal/kecc"
 )
@@ -60,8 +61,24 @@ type Result struct {
 	// Components are the k-VCCs, largest first. Vertex labels refer to the
 	// input graph; overlapping components repeat labels.
 	Components []*graph.Graph
-	// Stats describes the work performed.
+	// Stats describes the work performed. For an incrementally maintained
+	// result (Dynamic, EnumerateIncremental) it covers only the components
+	// actually recomputed — reused components tick Stats.ComponentsReused
+	// and cost nothing.
 	Stats Stats
+	// Version is the graph version the result was computed at: the Delta
+	// version stamp for results produced by a Dynamic handle, 0 for plain
+	// Enumerate calls on static graphs.
+	Version uint64
+
+	// store holds the per-component results keyed by structural
+	// fingerprint. Both the cold path (EnumerateContext) and the
+	// incremental path (Dynamic.ApplyEdits, EnumerateIncrementalContext)
+	// populate it, and the incremental path consults the previous
+	// result's store to skip every component untouched by an edit. A
+	// Result assembled literally (e.g. from a hierarchy index level) has
+	// no store; incremental runs against it simply recompute everything.
+	store *incr.Store
 
 	// byLabel is the label → component-indices inverted index, built
 	// lazily on first membership query. Results are cached and shared
@@ -98,16 +115,29 @@ func Enumerate(g *graph.Graph, k int, opts ...Option) (*Result, error) {
 
 // EnumerateContext is Enumerate with cancellation: the recursion checks
 // ctx between partition steps and returns ctx.Err() once it is done.
+//
+// Internally the enumeration runs per k-core connected component (the
+// k-VCCs of a graph are the disjoint union of the k-VCCs of those
+// components) and the Result retains the per-component breakdown, so a
+// later EnumerateIncrementalContext against this Result pays only for the
+// components an edit actually touched.
 func EnumerateContext(ctx context.Context, g *graph.Graph, k int, opts ...Option) (*Result, error) {
 	options := core.Options{Algorithm: core.VCCEStar}
 	for _, opt := range opts {
 		opt(&options)
 	}
-	comps, stats, err := core.EnumerateContext(ctx, g, k, options)
+	return enumerateWithStore(ctx, g, k, options, nil)
+}
+
+// enumerateWithStore is the shared engine behind the cold and incremental
+// paths: a per-component run that reuses matching components of prev (nil
+// for cold) and assembles the flattened canonical Result.
+func enumerateWithStore(ctx context.Context, g *graph.Graph, k int, options core.Options, prev *incr.Store) (*Result, error) {
+	store, stats, err := incr.Run(ctx, g, k, options, prev)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{K: k, Components: comps, Stats: *stats}, nil
+	return &Result{K: k, Components: store.Flatten(), Stats: *stats, store: store}, nil
 }
 
 // BuildHierarchy computes the full cohesion hierarchy of g — every k-VCC

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"kvcc"
 	"kvcc/graph"
@@ -207,11 +208,55 @@ type IndexInfo struct {
 	BuildMS  float64 `json:"build_ms,omitempty"`
 }
 
-// GraphInfo describes one graph loaded into the server.
+// GraphInfo describes one graph loaded into the server. Version is the
+// graph's mutation-overlay version stamp (1 for a freshly registered
+// graph, bumped by every effective edit) and ModifiedAt the time of the
+// registration or edit batch that installed the current snapshot;
+// together they let clients detect staleness after edits.
 type GraphInfo struct {
-	Name     string `json:"name"`
-	Vertices int    `json:"vertices"`
-	Edges    int    `json:"edges"`
+	Name       string    `json:"name"`
+	Vertices   int       `json:"vertices"`
+	Edges      int       `json:"edges"`
+	Version    uint64    `json:"version"`
+	ModifiedAt time.Time `json:"modified_at"`
+}
+
+// EditsRequest applies a batch of edge edits to a named graph. Edges are
+// addressed by vertex label ([from, to]; order irrelevant); inserts
+// create vertices on first mention. Graph is taken from the URL path by
+// the HTTP handler — a non-empty body value must match it.
+type EditsRequest struct {
+	Graph   string     `json:"graph,omitempty"`
+	Inserts [][2]int64 `json:"inserts,omitempty"`
+	Deletes [][2]int64 `json:"deletes,omitempty"`
+}
+
+// EditsResponse reports one applied edit batch: the new version and graph
+// size, how many edits took effect (NoopEdits were already present /
+// already absent), the highest connectivity level the batch may have
+// changed, and what happened to the derived state — cache entries at
+// unaffected k kept serving, affected entries were invalidated (and seed
+// the next incremental enumeration), and the hierarchy index repair was
+// scheduled, dropped, or not needed.
+type EditsResponse struct {
+	Graph            string  `json:"graph"`
+	Version          uint64  `json:"version"`
+	Vertices         int     `json:"vertices"`
+	Edges            int     `json:"edges"`
+	AppliedInserts   int     `json:"applied_inserts"`
+	AppliedDeletes   int     `json:"applied_deletes"`
+	NoopEdits        int     `json:"noop_edits,omitempty"`
+	AffectedMaxK     int     `json:"affected_max_k"`
+	CacheKept        int     `json:"cache_kept"`
+	CacheInvalidated int     `json:"cache_invalidated"`
+	IndexRepair      string  `json:"index_repair"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+}
+
+// RemoveGraphResponse acknowledges DELETE /api/v1/graphs/{name}.
+type RemoveGraphResponse struct {
+	Graph   string `json:"graph"`
+	Removed bool   `json:"removed"`
 }
 
 // StatsResponse is the server's operational snapshot.
@@ -236,6 +281,14 @@ type EnumStats struct {
 	// IndexServed counts queries answered from a ready hierarchy index
 	// (no cache entry and no enumeration involved).
 	IndexServed int64 `json:"index_served"`
+	// Edits counts effective edit batches applied to registered graphs.
+	Edits int64 `json:"edits,omitempty"`
+	// IncrementalRuns counts enumerations that started from an
+	// incremental seed left by an edit batch; ComponentsReused totals the
+	// k-core components those runs served verbatim from the seed instead
+	// of recomputing.
+	IncrementalRuns  int64 `json:"incremental_runs,omitempty"`
+	ComponentsReused int64 `json:"components_reused,omitempty"`
 	// TotalMS and MaxMS aggregate the wall-clock latency of completed
 	// enumerations (cache hits excluded; they are served in microseconds).
 	TotalMS float64 `json:"total_ms"`

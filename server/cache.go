@@ -104,6 +104,65 @@ func (c *resultCache) put(key cacheKey, res *kvcc.Result) {
 	}
 }
 
+// droppedEntry is one cache entry removed by migrate, returned to the
+// caller so the result can seed an incremental recomputation.
+type droppedEntry struct {
+	key cacheKey
+	res *kvcc.Result
+}
+
+// migrate re-keys the named graph's entries from oldGen to newGen,
+// dropping the ones whose k the affected predicate flags (and any stray
+// entries from even older generations). It returns the number of entries
+// kept and the dropped entries with their results. This is the
+// version-scoped invalidation behind Edits: an entry at an unaffected k
+// is provably identical on the new snapshot, so it keeps serving — with
+// its LRU position intact — while affected entries leave and seed the
+// incremental path.
+func (c *resultCache) migrate(name string, oldGen, newGen uint64, affected func(k int) bool) (kept int, dropped []droppedEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type move struct {
+		el  *list.Element
+		old cacheKey
+	}
+	var moves []move
+	for key, el := range c.entries {
+		if key.graph != name || key.gen > oldGen {
+			// Entries newer than the migrated generation were computed on
+			// the just-installed snapshot (a fast flight leader can beat
+			// this migration); they are already current.
+			continue
+		}
+		if key.gen == oldGen && !affected(key.k) {
+			moves = append(moves, move{el: el, old: key})
+			continue
+		}
+		entry := el.Value.(*cacheEntry)
+		if key.gen == oldGen {
+			dropped = append(dropped, droppedEntry{key: key, res: entry.res})
+		}
+		c.ll.Remove(el)
+		delete(c.entries, key)
+	}
+	for _, m := range moves {
+		entry := m.el.Value.(*cacheEntry)
+		delete(c.entries, m.old)
+		entry.key.gen = newGen
+		if _, occupied := c.entries[entry.key]; occupied {
+			// A fast flight leader already cached a fresh result under the
+			// new generation; keep it and retire the old element (an
+			// overwrite would orphan the leader's list element, and its
+			// eventual eviction would delete the live map entry).
+			c.ll.Remove(m.el)
+			continue
+		}
+		c.entries[entry.key] = m.el
+		kept++
+	}
+	return kept, dropped
+}
+
 // invalidateGraph drops every entry computed on the named graph. Called
 // when a graph is replaced at runtime.
 func (c *resultCache) invalidateGraph(name string) {

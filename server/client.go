@@ -83,6 +83,33 @@ func (c *Client) Cohesion(ctx context.Context, req CohesionRequest) (*CohesionRe
 	return &resp, nil
 }
 
+// Edits applies a batch of edge insertions and deletions to a named
+// graph. The server applies the batch atomically, bumps the graph's
+// version, keeps serving cached results at connectivity levels the batch
+// provably did not touch, and schedules a background hierarchy-index
+// repair; the response details exactly that split.
+func (c *Client) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, error) {
+	if req.Graph == "" {
+		return nil, fmt.Errorf("server: edits request needs a graph name")
+	}
+	var resp EditsResponse
+	if err := c.post(ctx, GraphEditsPath(req.Graph), req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// RemoveGraph unregisters a named graph, dropping its cached results and
+// cancelling any background index build on the server.
+func (c *Client) RemoveGraph(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+GraphPath(name), nil)
+	if err != nil {
+		return err
+	}
+	var resp RemoveGraphResponse
+	return c.do(req, &resp)
+}
+
 // Stats fetches the server's operational snapshot.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var resp StatsResponse

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 )
 
 // API routes served by Handler. The Client uses the same constants.
@@ -21,6 +22,18 @@ const (
 	PathHealth         = "/healthz"
 )
 
+// GraphEditsPath returns the edits endpoint for one named graph:
+// POST /api/v1/graphs/{name}/edits.
+func GraphEditsPath(name string) string {
+	return PathGraphs + "/" + url.PathEscape(name) + "/edits"
+}
+
+// GraphPath returns the per-graph resource path used by
+// DELETE /api/v1/graphs/{name}.
+func GraphPath(name string) string {
+	return PathGraphs + "/" + url.PathEscape(name)
+}
+
 // Handler returns the HTTP API of the server:
 //
 //	POST /api/v1/enumerate              EnumerateRequest       -> EnumerateResponse
@@ -29,6 +42,8 @@ const (
 //	POST /api/v1/overlap                OverlapRequest         -> OverlapResponse
 //	POST /api/v1/hierarchy              HierarchyRequest       -> HierarchyResponse
 //	POST /api/v1/cohesion               CohesionRequest        -> CohesionResponse
+//	POST   /api/v1/graphs/{name}/edits  EditsRequest           -> EditsResponse
+//	DELETE /api/v1/graphs/{name}        -> RemoveGraphResponse
 //	GET  /api/v1/stats                  -> StatsResponse
 //	GET  /api/v1/graphs                 -> []GraphInfo
 //	GET  /healthz                       -> "ok"
@@ -91,6 +106,29 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET "+PathGraphs, func(w http.ResponseWriter, r *http.Request) {
 		respond(w, s.Graphs(), nil)
+	})
+	mux.HandleFunc("POST "+PathGraphs+"/{name}/edits", func(w http.ResponseWriter, r *http.Request) {
+		var req EditsRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		name := r.PathValue("name")
+		if req.Graph != "" && req.Graph != name {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("body graph %q does not match path graph %q", req.Graph, name))
+			return
+		}
+		req.Graph = name
+		resp, err := s.Edits(r.Context(), req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("DELETE "+PathGraphs+"/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !s.RemoveGraph(name) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrUnknownGraph, name))
+			return
+		}
+		respond(w, RemoveGraphResponse{Graph: name, Removed: true}, nil)
 	})
 	mux.HandleFunc("GET "+PathHealth, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

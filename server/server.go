@@ -1,8 +1,9 @@
 // Package server turns the one-shot k-VCC enumeration library into a
-// long-running query service. A Server holds a registry of immutable
-// named graphs, a per-graph hierarchy index (the full k-VCC cohesion
-// tree, built once in the background), an LRU cache of enumeration
-// results keyed by (graph, k, algorithm), and a singleflight layer that
+// long-running query service. A Server holds a registry of named,
+// versioned graphs (each an immutable snapshot fronted by a mutation
+// overlay), a per-graph hierarchy index (the full k-VCC cohesion tree,
+// built in the background), an LRU cache of enumeration results keyed by
+// (graph, generation, k, algorithm), and a singleflight layer that
 // collapses concurrent identical requests into one computation. On top of
 // that it exposes an HTTP/JSON API (see Handler) with per-request
 // timeouts; the Client type in this package speaks the same wire format.
@@ -10,15 +11,19 @@
 // Requests descend a serving ladder: a ready hierarchy index answers any
 // covered k instantly; otherwise the cache answers repeats; otherwise one
 // flight leader runs the enumeration while identical requests wait. Every
-// rung is sound because an enumeration is a pure function of its key:
-// graphs are never mutated after registration, the four algorithm
+// rung is sound because an enumeration is a pure function of its key: a
+// registered snapshot is never mutated in place, the four algorithm
 // variants (Section 6.2 of the paper) produce identical component sets —
 // they differ only in pruning work — and a finished hierarchy level holds
 // exactly the k-VCCs of the graph in the same canonical order a direct
 // enumeration returns. Replacing a graph bumps its generation, which
 // simultaneously invalidates the cache entries and the index for the old
-// graph. The derived endpoints (components-containing, overlap, cohesion,
-// batch enumerate) are cheap post-processing over the same results.
+// graph; an edit batch (Edits) installs a new snapshot under a new
+// generation but migrates the cache entries the batch provably did not
+// affect and seeds incremental recomputation for the ones it did.
+// RemoveGraph completes the lifecycle. The derived endpoints
+// (components-containing, overlap, cohesion, batch enumerate) are cheap
+// post-processing over the same results.
 package server
 
 import (
@@ -114,6 +119,25 @@ type Server struct {
 	graphs  map[string]graphEntry
 	nextGen uint64
 
+	// editMu serializes registry mutations (Edits, AddGraph, RemoveGraph)
+	// against each other; queries never take it. Each graph's Delta is
+	// only touched under editMu, so overlay mutation needs no lock of its
+	// own, and an edit batch can never interleave with a replacement or
+	// removal of the graph it is updating.
+	editMu sync.Mutex
+
+	// prevMu guards prev, the one-shot incremental seeds: the last Result
+	// computed for a (graph, k, algo) whose cache entry an edit dropped.
+	// The next flight-leader enumeration for that key consumes the seed
+	// and recomputes only the k-core components the edits touched. The
+	// table is bounded by the cache capacity — seeds for keys that are
+	// never queried again are evicted oldest-first (see putSeed), so an
+	// edit-heavy workload cannot grow retained memory past what the
+	// cache itself was sized for.
+	prevMu  sync.Mutex
+	prev    map[prevKey]seedEntry
+	seedSeq uint64
+
 	indexMu sync.Mutex
 	indexes map[string]*graphIndex
 
@@ -122,12 +146,58 @@ type Server struct {
 }
 
 // graphEntry pairs a registered graph with the generation of the AddGraph
-// call that installed it; the generation is part of every cache and
-// flight key (see cacheKey), which keeps an in-flight enumeration on a
-// replaced graph from serving or caching results under the new graph.
+// or Edits call that installed it; the generation is part of every cache
+// and flight key (see cacheKey), which keeps an in-flight enumeration on
+// a replaced graph from serving or caching results under the new graph.
+// The delta is the graph's mutation overlay (the current g is always its
+// compacted snapshot), created lazily by the first Edits call so
+// read-only graphs carry no edit bookkeeping; version is the overlay's
+// monotonic version stamp (1 until first edit) and modified the
+// wall-clock time of the last installing call, both surfaced through
+// GraphInfo so clients can detect staleness. cores caches the core
+// number of every vertex of g, the input to the affected-level
+// computation of the next edit batch (filled lazily on first edit).
 type graphEntry struct {
-	g   *graph.Graph
-	gen uint64
+	g        *graph.Graph
+	gen      uint64
+	version  uint64
+	modified time.Time
+	delta    *graph.Delta
+	cores    []int
+}
+
+// prevKey addresses one incremental seed.
+type prevKey struct {
+	graph string
+	k     int
+	algo  kvcc.Algorithm
+}
+
+// seedEntry is one stored seed; seq orders eviction (oldest first).
+type seedEntry struct {
+	res *kvcc.Result
+	seq uint64
+}
+
+// putSeed stores res as the incremental seed for key, evicting the
+// oldest seeds when the table would exceed the cache capacity (the seeds
+// are dropped cache entries, so the cache's own size is the natural
+// bound on what edits may retain).
+func (s *Server) putSeed(key prevKey, res *kvcc.Result) {
+	s.prevMu.Lock()
+	defer s.prevMu.Unlock()
+	s.seedSeq++
+	s.prev[key] = seedEntry{res: res, seq: s.seedSeq}
+	for len(s.prev) > s.cfg.CacheSize {
+		var oldest prevKey
+		first := true
+		for k, e := range s.prev {
+			if first || e.seq < s.prev[oldest].seq {
+				oldest, first = k, false
+			}
+		}
+		delete(s.prev, oldest)
+	}
 }
 
 // testHookEnumerateStarted, when non-nil, runs at the start of every
@@ -144,6 +214,7 @@ func New(cfg Config) *Server {
 		flight:  newFlightGroup(),
 		start:   time.Now(),
 		graphs:  make(map[string]graphEntry),
+		prev:    make(map[prevKey]seedEntry),
 		indexes: make(map[string]*graphIndex),
 	}
 }
@@ -154,20 +225,70 @@ func New(cfg Config) *Server {
 // modify it. With Config.BuildIndex set, a background hierarchy-index
 // build starts immediately.
 func (s *Server) AddGraph(name string, g *graph.Graph) {
+	// Serialize with in-flight edit batches: an Edits call must finish
+	// installing its seeds and index state before a replacement tears
+	// them down (and vice versa). The mutation overlay is created lazily
+	// by the first Edits call, so registration costs no edit bookkeeping.
+	s.editMu.Lock()
+	defer s.editMu.Unlock()
 	s.mu.Lock()
 	_, replaced := s.graphs[name]
 	s.nextGen++
-	entry := graphEntry{g: g, gen: s.nextGen}
+	entry := graphEntry{
+		g:        g,
+		gen:      s.nextGen,
+		version:  1,
+		modified: time.Now(),
+	}
 	s.graphs[name] = entry
 	s.mu.Unlock()
 	if replaced {
 		s.cache.invalidateGraph(name)
+		s.dropSeeds(name)
 	}
 	if s.cfg.BuildIndex {
 		s.resetIndex(name, entry)
 	} else {
 		s.retireIndex(name, entry.gen)
 	}
+}
+
+// RemoveGraph unregisters the named graph, drops its cached results and
+// incremental seeds, and cancels (and discards) any background hierarchy
+// index build. It reports whether the graph was registered. A long-running
+// daemon that cycles datasets uses this to keep its memory bounded;
+// requests already in flight finish against the snapshot they hold but
+// can no longer cache results (their generation is retired with the
+// entry).
+func (s *Server) RemoveGraph(name string) bool {
+	// Serialize with Edits for the same reason as AddGraph: without this,
+	// an in-flight edit could re-seed s.prev or restart an index build
+	// after this removal swept them, resurrecting state for an
+	// unregistered graph.
+	s.editMu.Lock()
+	defer s.editMu.Unlock()
+	s.mu.Lock()
+	_, ok := s.graphs[name]
+	delete(s.graphs, name)
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.cache.invalidateGraph(name)
+	s.dropSeeds(name)
+	s.invalidateIndex(name)
+	return true
+}
+
+// dropSeeds discards every incremental seed held for the named graph.
+func (s *Server) dropSeeds(name string) {
+	s.prevMu.Lock()
+	for key := range s.prev {
+		if key.graph == name {
+			delete(s.prev, key)
+		}
+	}
+	s.prevMu.Unlock()
 }
 
 // LoadGraphFile reads a SNAP-style edge list and registers the graph
@@ -190,7 +311,13 @@ func (s *Server) Graphs() []GraphInfo {
 	defer s.mu.Unlock()
 	out := make([]GraphInfo, 0, len(s.graphs))
 	for name, e := range s.graphs {
-		out = append(out, GraphInfo{Name: name, Vertices: e.g.NumVertices(), Edges: e.g.NumEdges()})
+		out = append(out, GraphInfo{
+			Name:       name,
+			Vertices:   e.g.NumVertices(),
+			Edges:      e.g.NumEdges(),
+			Version:    e.version,
+			ModifiedAt: e.modified,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -301,8 +428,17 @@ func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 	s.enum.Started++
 	s.statsMu.Unlock()
 
+	// Consume the incremental seed, if an edit batch left one: the
+	// enumeration then reuses every k-core component the edits did not
+	// touch. Seeds are one-shot — consumed on success below — so the
+	// retained Result's memory is bounded by what was cached at edit time.
+	seedKey := prevKey{graph: key.graph, k: key.k, algo: key.algo}
+	s.prevMu.Lock()
+	seed := s.prev[seedKey].res
+	s.prevMu.Unlock()
+
 	begin := time.Now()
-	res, err := kvcc.EnumerateContext(ctx, g, key.k,
+	res, err := kvcc.EnumerateIncrementalContext(ctx, g, key.k, seed,
 		kvcc.WithAlgorithm(key.algo), kvcc.WithParallelism(s.cfg.Parallelism))
 	elapsed := time.Since(begin)
 
@@ -329,6 +465,21 @@ func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 	s.mu.Unlock()
 	if ok && cur.gen == key.gen {
 		s.cache.put(key, res)
+		// Consume the seed only when this leader computed on the current
+		// generation: a leader pinned to a retired generation (its lookup
+		// raced the edit) may reuse the seed's components, but must leave
+		// the seed in place for the first current-generation enumeration.
+		if seed != nil {
+			s.statsMu.Lock()
+			s.enum.IncrementalRuns++
+			s.enum.ComponentsReused += res.Stats.ComponentsReused
+			s.statsMu.Unlock()
+			s.prevMu.Lock()
+			if s.prev[seedKey].res == seed {
+				delete(s.prev, seedKey)
+			}
+			s.prevMu.Unlock()
+		}
 	}
 	return res, nil
 }
