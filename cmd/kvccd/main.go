@@ -8,6 +8,7 @@
 //
 //	kvccd -graph social=social.txt -graph web=web.txt [-addr :7474]
 //	      [-cache 64] [-max-k 0] [-parallel 1] [-index] [-index-max-k 0]
+//	      [-engine auto] [-seed 0]
 //	      [-request-timeout 30s] [-compute-timeout 5m] [-demo] [-selftest]
 //
 // -graph name=path registers an edge list under a query name and may be
@@ -18,7 +19,10 @@
 // any k are answered from the tree instead of running the algorithm
 // (hierarchy and cohesion queries build the index on demand either way).
 // -index-max-k truncates that tree at a level when only shallow queries
-// matter. -demo registers a small generated community graph under the
+// matter. -engine selects the max-flow engine behind every enumeration
+// (auto | dinic | ek | local; all return identical results) and -seed
+// fixes the randomized local engine's seed — purely performance knobs.
+// -demo registers a small generated community graph under the
 // name "demo" so the server can be tried without any dataset. -selftest
 // starts the server on an ephemeral port, drives every endpoint through
 // the Go client (verifying that a repeated query is a cache hit and that
@@ -81,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel       = fs.Int("parallel", 1, "enumeration worker count")
 		index          = fs.Bool("index", false, "precompute the hierarchy index of every graph at startup")
 		indexMaxK      = fs.Int("index-max-k", 0, "truncate hierarchy index builds at this level (0 = full depth)")
+		engine         = fs.String("engine", "auto", "max-flow engine: auto | dinic | ek | local (results are identical)")
+		seed           = fs.Uint64("seed", 0, "seed for the randomized local cut engine (0 = fixed default)")
 		requestTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request wait ceiling")
 		computeTimeout = fs.Duration("compute-timeout", 5*time.Minute, "per-enumeration ceiling")
 		demo           = fs.Bool("demo", false, `also serve a generated community graph as "demo"`)
@@ -94,6 +100,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	// server.New degrades unknown engine names to auto; a daemon should
+	// fail loudly on a typo instead, so validate the flag up front.
+	if _, err := server.ParseFlowEngine(*engine); err != nil {
+		fmt.Fprintln(stderr, "kvccd: -engine:", err)
+		return 2
+	}
 
 	srv := server.New(server.Config{
 		CacheSize:      *cacheSize,
@@ -103,6 +115,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ComputeTimeout: *computeTimeout,
 		BuildIndex:     *index,
 		IndexMaxK:      *indexMaxK,
+		FlowEngine:     *engine,
+		Seed:           *seed,
 	})
 	for name, path := range graphs {
 		if err := srv.LoadGraphFile(name, path); err != nil {

@@ -95,6 +95,13 @@ type Options struct {
 	// the result is identical either way because siblings are
 	// independent subproblems and each level is re-canonicalized).
 	Parallelism int
+	// FlowEngine selects the max-flow engine behind the per-level
+	// enumerations (default core.FlowAuto). All engines return identical
+	// results, so this is purely a performance knob.
+	FlowEngine core.FlowEngine
+	// Seed seeds the randomized LocalVC engine (0 = fixed default).
+	// Seeds never change results, only the engine's work profile.
+	Seed uint64
 }
 
 // Build computes the cohesion hierarchy of g in one incremental pass:
@@ -116,7 +123,11 @@ func BuildContext(ctx context.Context, g *graph.Graph, opts Options) (*Tree, err
 	if opts.MaxK < 0 {
 		return nil, fmt.Errorf("hierarchy: negative MaxK %d", opts.MaxK)
 	}
-	coreOpts := core.Options{Algorithm: opts.Algorithm}
+	coreOpts := core.Options{
+		Algorithm:  opts.Algorithm,
+		FlowEngine: opts.FlowEngine,
+		Seed:       opts.Seed,
+	}
 
 	tree := &Tree{BuiltMaxK: opts.MaxK}
 	frontier := []*Node{{Component: g}} // pseudo-parent for level 1

@@ -24,7 +24,12 @@ func (e *enumerator) findCutBasic(g *graph.Graph, stats *Stats, ws *workspace) [
 	cert := ws.certificate(g, e.k)
 	sc := cert.SC
 	nw := flow.NewNetworkScratch(sc, e.k, &ws.flow)
-	defer func() { stats.FlowRuns += nw.FlowRuns }()
+	nw.SetEngine(e.selectEngine(sc.NumVertices()))
+	defer func() {
+		stats.FlowRuns += nw.FlowRuns
+		stats.LocalCutAttempts += nw.LocalAttempts
+		stats.LocalCutFallbacks += nw.LocalFallbacks
+	}()
 
 	u, _ := sc.MinDegreeVertex()
 	for v := 0; v < sc.NumVertices(); v++ {
@@ -60,6 +65,9 @@ func (e *enumerator) findCutBasic(g *graph.Graph, stats *Stats, ws *workspace) [
 // the raw component without a sparse certificate, so any cut it finds is a
 // cut of the component by construction.
 func (e *enumerator) findCutRaw(g *graph.Graph, stats *Stats, ws *workspace) []int {
+	// Deliberately stays on Dinic: this path only runs after a cut
+	// validation failure, where predictable, engine-independent behavior
+	// matters more than speed.
 	nw := flow.NewNetworkScratch(g, e.k, &ws.flow)
 	defer func() { stats.FlowRuns += nw.FlowRuns }()
 	u, _ := g.MinDegreeVertex()
@@ -147,6 +155,7 @@ func (cf *cutFinder) reset(e *enumerator, g *graph.Graph, cert *sparse.Certifica
 	cf.sc = cert.SC
 	cf.k = e.k
 	cf.nw = flow.NewNetworkScratch(cert.SC, e.k, &ws.flow)
+	cf.nw.SetEngine(e.selectEngine(cert.SC.NumVertices()))
 	cf.useNS = e.opts.Algorithm.neighborSweep()
 	cf.useGS = e.opts.Algorithm.groupSweep()
 	cf.hint = hint
@@ -177,7 +186,11 @@ func (e *enumerator) findCutOptimized(g *graph.Graph, hint *ssvHint, stats *Stat
 	cert := ws.certificate(g, e.k)
 	cf := &ws.cf
 	cf.reset(e, g, cert, hint, stats, ws)
-	defer func() { stats.FlowRuns += cf.nw.FlowRuns }()
+	defer func() {
+		stats.FlowRuns += cf.nw.FlowRuns
+		stats.LocalCutAttempts += cf.nw.LocalAttempts
+		stats.LocalCutFallbacks += cf.nw.LocalFallbacks
+	}()
 
 	n := g.NumVertices()
 

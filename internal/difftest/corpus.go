@@ -38,17 +38,24 @@ func Corpus() []Case {
 		{"planted", planted, 7},
 		{"planted-dense", plantedDense, 9},
 		// Adversarial shapes.
-		{"clique-chain-subk-overlap", CliqueChain(5, 8, 3), 6},     // overlaps < k stay separate
-		{"two-cliques-exact-overlap", TwoCliquesSharing(8, 4), 6},  // overlap = k must merge at k
-		{"two-cliques-cut-vertex", TwoCliquesSharing(6, 1), 6},     // articulation point
-		{"cycle", Cycle(30), 3},                                    // one 2-VCC, nothing deeper
-		{"complete-bipartite", CompleteBipartite(5, 9), 6},         // κ = min side
-		{"barbell", Barbell(7, 5), 7},                              // cliques joined by a path
-		{"hypercube", Hypercube(4), 5},                             // 4-regular, 4-connected
-		{"wheel", Wheel(12), 4},                                    // hub + cycle, κ = 3
-		{"grid", Grid(6, 7), 3},                                    // planar, κ = 2
-		{"disconnected-scraps", DisconnectedScraps(), 5},           // components + isolated vertices
-		{"star", Star(20), 2},                                      // no 2-VCC at all
+		{"clique-chain-subk-overlap", CliqueChain(5, 8, 3), 6},    // overlaps < k stay separate
+		{"two-cliques-exact-overlap", TwoCliquesSharing(8, 4), 6}, // overlap = k must merge at k
+		{"two-cliques-cut-vertex", TwoCliquesSharing(6, 1), 6},    // articulation point
+		{"cycle", Cycle(30), 3},                                   // one 2-VCC, nothing deeper
+		{"complete-bipartite", CompleteBipartite(5, 9), 6},        // κ = min side
+		{"barbell", Barbell(7, 5), 7},                             // cliques joined by a path
+		{"hypercube", Hypercube(4), 5},                            // 4-regular, 4-connected
+		{"wheel", Wheel(12), 4},                                   // hub + cycle, κ = 3
+		{"grid", Grid(6, 7), 3},                                   // planar, κ = 2
+		{"disconnected-scraps", DisconnectedScraps(), 5},          // components + isolated vertices
+		{"star", Star(20), 2},                                     // no 2-VCC at all
+		// LocalVC-adversarial shapes: dense volume behind tiny cuts
+		// (barbell above, lollipop), no small cut at all (expander), and
+		// one shared cut serving many sides (star of cliques).
+		{"lollipop", Lollipop(8, 6), 7},                     // clique + dangling path
+		{"harary-expander", Harary(40, 8), 9},               // 8-regular, κ = 8, no local exit
+		{"star-of-cliques", StarOfCliques(4, 8, 3), 6},      // hub set is every minimum cut
+		{"star-of-cliques-deep", StarOfCliques(6, 7, 2), 6}, // more arms, thinner hub
 	}
 }
 
@@ -157,6 +164,75 @@ func Barbell(size, pathLen int) *graph.Graph {
 	return graph.FromEdges(n, edges)
 }
 
+// Lollipop attaches a path of pathLen vertices to one vertex of a
+// clique: the classic lollipop graph. The path peels away under any
+// k-core with k >= 2, but before that the attachment vertex is an
+// articulation point — a size-1 cut guarding a dense far side, the shape
+// a local cut search should resolve without exploring the clique.
+func Lollipop(cliqueSize, pathLen int) *graph.Graph {
+	n := cliqueSize + pathLen
+	var edges [][2]int
+	for i := 0; i < cliqueSize; i++ {
+		for j := i + 1; j < cliqueSize; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	prev := 0
+	for p := 0; p < pathLen; p++ {
+		edges = append(edges, [2]int{prev, cliqueSize + p})
+		prev = cliqueSize + p
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Harary returns the circulant Harary graph H_{d,n} for even d: every
+// vertex adjacent to its d/2 nearest neighbors on each side of a ring.
+// It is d-regular and exactly d-connected — an expander-like shape with
+// no small cut anywhere, so a budget-bounded local search can never
+// exhaust and must fall back on every query below the bound.
+func Harary(n, d int) *graph.Graph {
+	if d%2 != 0 || d >= n {
+		panic("difftest: Harary wants even d < n")
+	}
+	var edges [][2]int
+	for v := 0; v < n; v++ {
+		for off := 1; off <= d/2; off++ {
+			edges = append(edges, [2]int{v, (v + off) % n})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// StarOfCliques joins `arms` cliques of the given size through one shared
+// hub set of `shared` vertices common to all of them. The hub is the
+// unique minimum cut between any two arms, so every partition step must
+// rediscover the same `shared`-sized cut, and for k <= shared all arms
+// merge into a single k-VCC.
+func StarOfCliques(arms, size, shared int) *graph.Graph {
+	if shared >= size {
+		panic("difftest: shared must be below clique size")
+	}
+	own := size - shared
+	n := shared + arms*own
+	var edges [][2]int
+	for a := 0; a < arms; a++ {
+		// The clique = hub vertices 0..shared-1 plus this arm's own block.
+		vs := make([]int, 0, size)
+		for h := 0; h < shared; h++ {
+			vs = append(vs, h)
+		}
+		for i := 0; i < own; i++ {
+			vs = append(vs, shared+a*own+i)
+		}
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				edges = append(edges, [2]int{vs[i], vs[j]})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
 // Hypercube returns the dim-dimensional hypercube: dim-regular and
 // exactly dim-connected, with no cut smaller than a full neighborhood.
 func Hypercube(dim int) *graph.Graph {
@@ -197,7 +273,7 @@ func Grid(rows, cols int) *graph.Graph {
 				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
 			}
 			if r+1 < rows {
-				edges = append(edges, [2]int{id(r, c), id(r + 1, c)})
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package difftest
 import (
 	"testing"
 
+	"kvcc/internal/flow"
 	"kvcc/internal/verify"
 )
 
@@ -81,5 +82,22 @@ func TestAdversarialShapes(t *testing.T) {
 	g := TwoCliquesSharing(5, 3)
 	if kappa := verify.VertexConnectivityBrute(g); kappa != 3 {
 		t.Fatalf("shared-3 connectivity = %d, want 3", kappa)
+	}
+	// The lollipop's attachment vertex is an articulation point.
+	if kappa := verify.VertexConnectivityBrute(Lollipop(6, 3)); kappa != 1 {
+		t.Fatalf("lollipop connectivity = %d, want 1", kappa)
+	}
+	// H_{d,n} is exactly d-connected. The corpus instance is too large for
+	// the exponential oracle, so pin it with the polynomial flow-based
+	// computation and brute-check a small instance alongside.
+	if kappa := verify.VertexConnectivityBrute(Harary(10, 4)); kappa != 4 {
+		t.Fatalf("H_{4,10} connectivity = %d, want 4", kappa)
+	}
+	if kappa, _ := flow.GlobalVertexConnectivity(Harary(40, 8), 16); kappa != 8 {
+		t.Fatalf("H_{8,40} connectivity = %d, want 8", kappa)
+	}
+	// The star of cliques is exactly `shared`-connected (the hub set).
+	if kappa := verify.VertexConnectivityBrute(StarOfCliques(3, 4, 2)); kappa != 2 {
+		t.Fatalf("star-of-cliques connectivity = %d, want 2", kappa)
 	}
 }

@@ -89,9 +89,22 @@ type Network struct {
 
 	engine Engine
 
+	// LocalVC engine state: the xorshift PRNG (see SetSeed), the
+	// per-round arc budget override (0 = heuristic), and the fake-sink
+	// endpoints of the current query's path reversals.
+	rngState    uint64
+	localBudget int
+	fakeEnds    []int32
+
 	// FlowRuns counts the number of max-flow computations executed
 	// (LOC-CUT invocations that were not short-circuited).
 	FlowRuns int64
+	// LocalAttempts counts queries the LocalVC engine started;
+	// LocalFallbacks counts the subset it handed to Dinic (budget overrun
+	// past the repetition bound, or a boundary it could not certify as
+	// minimum). Both stay 0 under the other engines.
+	LocalAttempts  int64
+	LocalFallbacks int64
 }
 
 type dfsFrame struct {
@@ -184,19 +197,40 @@ func (nw *Network) MinVertexCutLimit(u, v, limit int) (cut []int, connectivity i
 	nw.FlowRuns++
 	nw.undo()
 	src, dst := outNode(u), inNode(v)
-	value := 0
-	if nw.engine == EdmondsKarp {
+	var value int
+	switch nw.engine {
+	case EdmondsKarp:
 		value = nw.maxFlowEK(src, dst, limit)
-	} else {
-		for value < limit && nw.bfsLevels(src, dst) {
-			value += nw.blockingFlow(src, dst, limit-value)
+	case LocalVC:
+		var done bool
+		value, done = nw.maxFlowLocal(src, dst, limit)
+		if !done {
+			// Deterministic fallback: roll the local phase's residual
+			// mutations back through the undo log and rerun the query
+			// on the exact Dinic path. Answers therefore never depend
+			// on the PRNG.
+			nw.LocalFallbacks++
+			nw.undo()
+			value = nw.maxFlowDinic(src, dst, limit)
 		}
+	default:
+		value = nw.maxFlowDinic(src, dst, limit)
 	}
 	if value >= limit {
 		return nil, limit, true
 	}
 	cut = nw.extractCut(src, value)
 	return cut, value, false
+}
+
+// maxFlowDinic augments by blocking flows over BFS level graphs until
+// `limit` units flow or no augmenting path remains.
+func (nw *Network) maxFlowDinic(src, dst int32, limit int) int {
+	value := 0
+	for value < limit && nw.bfsLevels(src, dst) {
+		value += nw.blockingFlow(src, dst, limit-value)
+	}
+	return value
 }
 
 // bfsLevels builds the Dinic level graph; reports whether dst is reachable.

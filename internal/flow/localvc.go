@@ -1,0 +1,246 @@
+package flow
+
+// LocalVC-style local cut engine, after Nanongkai, Saranurak and
+// Yingchareonthawornchai (arXiv:1904.04453, arXiv:1905.05329), adapted to
+// the bounded min-vertex-cut queries of LOC-CUT.
+//
+// The idea: a query "is κ(u,v) >= k?" whose answer is a small cut near the
+// seed does not need to look at the whole graph. Instead of Dinic's global
+// BFS phases, the engine grows depth-first augmenting paths from the
+// source with a per-round arc budget of O(ν·k). Three things can happen in
+// a round:
+//
+//   - the DFS reaches the sink: augment one unit, exactly as Ford-Fulkerson
+//     would;
+//   - the DFS exhausts the residual-reachable set within budget: the
+//     boundary of the reached set is a saturated vertex cut, and (when no
+//     fake unit crossed it — see below) its size equals the current real
+//     flow value, so the answer is exact;
+//   - the DFS hits the budget: it wandered into the far side of a small
+//     cut. Following LocalEC, the round is converted into one unit of
+//     "fake flow" by reversing the DFS-tree path to a uniformly random
+//     visited node. If a small local cut exists, the random endpoint lands
+//     beyond it with good probability and the fake unit consumes one unit
+//     of cut capacity, so after < k such rounds the reachable set
+//     collapses and the cut is found.
+//
+// Unlike the paper's decision procedure, this engine is EXACT: randomness
+// never affects answers, only work. The one-sided error of LocalEC (a
+// missed cut after the k-repetition bound) and the rare non-minimum
+// boundary (a fake unit ending beyond the final cut) are both resolved by
+// rolling the query back via the touched-arc undo log and rerunning it on
+// the pooled deterministic Dinic path. docs/DESIGN.md ("The LocalVC local
+// cut engine") derives the two exactness cases and records the deviations
+// from arXiv:1904.04453.
+
+// LocalVC selects the randomized local cut engine with deterministic
+// Dinic fallback. Results are identical to Dinic and EdmondsKarp on every
+// query; only the work profile (and the LocalAttempts / LocalFallbacks
+// counters) depends on the PRNG seed.
+const LocalVC Engine = 2
+
+// defaultLocalSeed seeds the engine PRNG when no explicit seed is set
+// (the golden-ratio constant; any nonzero value works).
+const defaultLocalSeed = 0x9E3779B97F4A7C15
+
+// minLocalArcBudget floors the per-round arc budget so tiny networks are
+// always explored exhaustively (a DFS that cannot finish a 100-arc
+// network does nothing but trigger fallbacks).
+const minLocalArcBudget = 256
+
+// SetSeed seeds the LocalVC PRNG. Seed 0 selects the fixed default, so a
+// zero-valued configuration is still fully reproducible. Seeding never
+// changes query results — every answer is exact — only which rounds
+// reverse to which fake sinks, and therefore how often the engine falls
+// back to Dinic.
+func (nw *Network) SetSeed(seed uint64) {
+	if seed == 0 {
+		seed = defaultLocalSeed
+	}
+	nw.rngState = seed
+}
+
+// SetLocalBudget overrides the per-round DFS arc budget of the LocalVC
+// engine. Values <= 0 restore the default heuristic (max(256, m/(4·limit))
+// arcs). Tests use tiny budgets to force the fake-sink and fallback paths
+// on graphs far below the default floor.
+func (nw *Network) SetLocalBudget(arcs int) {
+	if arcs < 0 {
+		arcs = 0
+	}
+	nw.localBudget = arcs
+}
+
+// localArcBudget is the ν·k-style volume bound of one DFS round. The
+// default targets o(m) local work per query on large networks — at most
+// 2·limit rounds of m/(4·limit) arcs each is half an arc sweep — while
+// the floor keeps small networks exhaustively explorable (no budget hits,
+// no randomness, pure depth-first Ford-Fulkerson).
+func (nw *Network) localArcBudget(limit int) int {
+	if nw.localBudget > 0 {
+		return nw.localBudget
+	}
+	b := len(nw.arcHead) / (4 * limit)
+	if b < minLocalArcBudget {
+		b = minLocalArcBudget
+	}
+	return b
+}
+
+// rand is a xorshift64 step: allocation-free, deterministic from the seed.
+func (nw *Network) rand() uint64 {
+	x := nw.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	nw.rngState = x
+	return x
+}
+
+// localDFS outcome per round.
+type localStatus int
+
+const (
+	localReached   localStatus = iota // dst found; parent path is an augmenting path
+	localExhausted                    // residual-reachable set fully explored, dst absent
+	localOverrun                      // arc budget hit before either of the above
+)
+
+// maxFlowLocal runs the local augmentation engine. It returns the flow
+// value and whether the answer is complete: done=false means the local
+// phase gave up (budget exceeded past the repetition bound, or the
+// exhaustion boundary was not provably minimum) and the caller must roll
+// the query back and rerun it with Dinic.
+//
+// Exactness of the done=true cases:
+//
+//   - value == limit: the pseudo-flow decomposes into `value` arc-disjoint
+//     src→dst paths plus one path per fake sink; unit vertex arcs make the
+//     src→dst paths internally vertex-disjoint, so κ(u,v) >= limit.
+//   - exhausted with every fake endpoint inside the reached set T: no flow
+//     enters T (a flow-carrying arc into T would leave its reverse
+//     residual arc open, putting its tail in T), so the net outflow —
+//     `value` real units, the interior fakes cancelling — crosses the
+//     saturated boundary one unit per vertex arc. The boundary is a
+//     vertex cut of size exactly `value`, and κ >= value by the
+//     decomposition above, so κ = value and the cut is minimum.
+//
+// A fake endpoint outside T adds one crossing unit, making the boundary a
+// valid cut of size value+fakesOutside that is not provably minimum; the
+// engine reports done=false and lets Dinic recompute exactly.
+func (nw *Network) maxFlowLocal(src, dst int32, limit int) (value int, done bool) {
+	nw.LocalAttempts++
+	nw.parent = growUint64(nw.parent, len(nw.level))
+	budget := nw.localArcBudget(limit)
+	nw.fakeEnds = nw.fakeEnds[:0]
+	for value < limit {
+		status, pgen, pick := nw.localDFS(src, dst, budget)
+		switch status {
+		case localReached:
+			nw.reverseParentPath(dst, src)
+			value++
+		case localExhausted:
+			for _, y := range nw.fakeEnds {
+				if !stamped(nw.parent[y], pgen) {
+					// A fake unit ended beyond the boundary: the cut is
+					// valid but possibly not minimum. Let Dinic decide.
+					return value, false
+				}
+			}
+			return value, true
+		default: // localOverrun
+			// Repetition bound: after `limit` fake reversals a small
+			// local cut would have been saturated with high probability,
+			// so further rounds are wasted work — fall back. pick < 0
+			// means the round stalled without visiting a single new node
+			// (every scanned arc saturated or already stamped), leaving
+			// nothing to reverse to.
+			if len(nw.fakeEnds) >= limit || pick < 0 {
+				return value, false
+			}
+			nw.reverseParentPath(pick, src)
+			nw.fakeEnds = append(nw.fakeEnds, pick)
+		}
+	}
+	return value, true
+}
+
+// reverseParentPath pushes one unit along the parent-arc path from src to
+// node (recorded by localDFS or the EK BFS), updating residual capacities
+// and the undo log. Shared by real augmentations, fake-sink reversals,
+// and the Edmonds-Karp backtrace.
+func (nw *Network) reverseParentPath(node, src int32) {
+	for node != src {
+		a := int32(uint32(nw.parent[node]))
+		rev := nw.arcRev[a]
+		nw.touch(a)
+		nw.touch(rev)
+		nw.arcCap[a]--
+		nw.arcCap[rev]++
+		node = nw.arcHead[rev]
+	}
+}
+
+// localDFS grows one depth-first search from src in the residual graph,
+// spending at most `budget` arc inspections. It reports how the round
+// ended, the parent-array generation of this round (whose stamps identify
+// the visited set), and a uniformly random visited node (-1 if none) for
+// the fake-sink reversal of an overrun round. The per-node current-arc
+// cursor makes re-expansion of a node resume where it left off, so the
+// budget bounds genuine work, not rescans.
+func (nw *Network) localDFS(src, dst int32, budget int) (status localStatus, gen uint32, pick int32) {
+	arcCap, arcHead, arcStart, parent, iter := nw.arcCap, nw.arcHead, nw.arcStart, nw.parent, nw.iter
+	pgen := nextGen(&nw.parentGen, parent)
+	igen := nextGen(&nw.iterGen, iter)
+	parent[src] = pack(pgen, ^uint32(0))
+	stack := append(nw.queue[:0], src)
+	defer func() { nw.queue = stack[:0] }()
+	pick = -1
+	var visited uint64
+	steps := 0
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		e := iter[node]
+		it := uint32(arcStart[node])
+		if stamped(e, igen) {
+			it = uint32(e)
+		}
+		end := uint32(arcStart[node+1])
+		pushed := false
+		for ; it < end; it++ {
+			steps++
+			if steps > budget {
+				iter[node] = pack(igen, it)
+				return localOverrun, pgen, pick
+			}
+			if arcCap[it] <= 0 {
+				continue
+			}
+			to := arcHead[it]
+			if stamped(parent[to], pgen) {
+				continue
+			}
+			parent[to] = pack(pgen, it)
+			iter[node] = pack(igen, it)
+			if to == dst {
+				return localReached, pgen, pick
+			}
+			// Reservoir-sample the visited nodes so an overrun round can
+			// reverse to a uniformly random one (the fake sink of
+			// LocalEC; sampling nodes instead of traversed edges is a
+			// documented deviation).
+			visited++
+			if nw.rand()%visited == 0 {
+				pick = to
+			}
+			stack = append(stack, to)
+			pushed = true
+			break
+		}
+		if !pushed {
+			iter[node] = pack(igen, it)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return localExhausted, pgen, pick
+}

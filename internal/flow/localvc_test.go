@@ -1,0 +1,322 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+
+	"kvcc/graph"
+)
+
+// localBudgets is the budget sweep used by the differential tests below:
+// 0 is the production heuristic, 1 forces a budget overrun (and therefore
+// fake-sink reversals and Dinic fallbacks) on every nontrivial round, and
+// the middle values exercise mixed rounds.
+var localBudgets = []int{0, 1, 4, 32}
+
+// barbell joins two cliques of the given size by a path of pathLen extra
+// vertices — the classic "small cut far from the seed" shape for a local
+// search.
+func barbell(size, pathLen int) *graph.Graph {
+	n := 2*size + pathLen
+	var edges [][2]int
+	for c := 0; c < 2; c++ {
+		off := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				edges = append(edges, [2]int{off + i, off + j})
+			}
+		}
+	}
+	prev := size - 1
+	for p := 0; p < pathLen; p++ {
+		edges = append(edges, [2]int{prev, 2*size + p})
+		prev = 2*size + p
+	}
+	edges = append(edges, [2]int{prev, size})
+	return graph.FromEdges(n, edges)
+}
+
+// lollipop is a clique with a path tail: every tail vertex is an
+// articulation point, so κ(clique vertex, tail tip) = 1 while the clique
+// side has large volume.
+func lollipop(cliqueSize, pathLen int) *graph.Graph {
+	n := cliqueSize + pathLen
+	var edges [][2]int
+	for i := 0; i < cliqueSize; i++ {
+		for j := i + 1; j < cliqueSize; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	prev := cliqueSize - 1
+	for p := 0; p < pathLen; p++ {
+		edges = append(edges, [2]int{prev, cliqueSize + p})
+		prev = cliqueSize + p
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// harary returns the Harary graph H_{d,n} for even d (the circulant with
+// offsets 1..d/2): d-regular and exactly d-connected — an expander-like
+// worst case with no small cut anywhere.
+func harary(n, d int) *graph.Graph {
+	var edges [][2]int
+	for v := 0; v < n; v++ {
+		for off := 1; off <= d/2; off++ {
+			edges = append(edges, [2]int{v, (v + off) % n})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// starOfCliques attaches `arms` cliques of the given size to one shared
+// hub set of `shared` vertices: the hub is the unique minimum cut between
+// any two arms.
+func starOfCliques(arms, size, shared int) *graph.Graph {
+	n := shared + arms*(size-shared)
+	var edges [][2]int
+	for i := 0; i < shared; i++ {
+		for j := i + 1; j < shared; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	for a := 0; a < arms; a++ {
+		first := shared + a*(size-shared)
+		for i := first; i < first+size-shared; i++ {
+			for h := 0; h < shared; h++ {
+				edges = append(edges, [2]int{h, i})
+			}
+			for j := i + 1; j < first+size-shared; j++ {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// checkEnginesAgree compares LocalVC against Dinic on every vertex pair
+// of g at the given bound and budget, and validates every cut LocalVC
+// returns: correct size, no endpoints, and actual separation.
+func checkEnginesAgree(t *testing.T, name string, g *graph.Graph, bound, budget int, seed uint64) {
+	t.Helper()
+	n := g.NumVertices()
+	dinic := NewNetwork(g, bound)
+	local := NewNetwork(g, bound)
+	local.SetEngine(LocalVC)
+	local.SetSeed(seed)
+	local.SetLocalBudget(budget)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			cutD, cD, atLeastD := dinic.MinVertexCut(u, v)
+			cutL, cL, atLeastL := local.MinVertexCut(u, v)
+			if cD != cL || atLeastD != atLeastL {
+				t.Fatalf("%s budget=%d (%d,%d): dinic (%d,%v) vs localvc (%d,%v)",
+					name, budget, u, v, cD, atLeastD, cL, atLeastL)
+			}
+			if atLeastL {
+				continue
+			}
+			if len(cutL) != cL || len(cutD) != cD {
+				t.Fatalf("%s budget=%d (%d,%d): cut %v size != κ %d", name, budget, u, v, cutL, cL)
+			}
+			avoid := map[int]bool{}
+			for _, w := range cutL {
+				if w == u || w == v {
+					t.Fatalf("%s budget=%d (%d,%d): cut %v contains an endpoint", name, budget, u, v, cutL)
+				}
+				avoid[w] = true
+			}
+			if cL > 0 && sameComp(g, u, v, avoid) {
+				t.Fatalf("%s budget=%d (%d,%d): cut %v does not separate", name, budget, u, v, cutL)
+			}
+		}
+	}
+}
+
+// TestLocalVCAdversarialShapes diffs LocalVC against Dinic on the shapes
+// the local search is most likely to get wrong: cuts far from the seed
+// (barbell, lollipop), no cut at all (Harary expander), and a hub cut
+// shared by many sides (star-of-cliques) — across the whole budget sweep.
+func TestLocalVCAdversarialShapes(t *testing.T) {
+	shapes := []struct {
+		name  string
+		g     *graph.Graph
+		bound int
+	}{
+		{"barbell", barbell(6, 4), 5},
+		{"lollipop", lollipop(7, 5), 6},
+		{"harary-16-4", harary(16, 4), 5},
+		{"harary-24-6", harary(24, 6), 7},
+		{"star-of-cliques", starOfCliques(3, 6, 2), 5},
+		{"cycle", cycle(12), 3},
+		{"petersen", petersen(), 4},
+	}
+	for _, s := range shapes {
+		for _, budget := range localBudgets {
+			checkEnginesAgree(t, s.name, s.g, s.bound, budget, 0)
+		}
+	}
+}
+
+// TestLocalVCRandomGraphs sweeps random connected graphs, bounds, budgets
+// and seeds; the pooled-scratch variant additionally exercises the
+// undo-log and rebuild paths under the local engine.
+func TestLocalVCRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var s Scratch
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(14)
+		g := randomConnectedGraph(n, 0.25, rng)
+		bound := 1 + rng.Intn(n-1)
+		budget := localBudgets[trial%len(localBudgets)]
+		seed := rng.Uint64()
+		checkEnginesAgree(t, "random", g, bound, budget, seed)
+
+		// Pooled network rebuilt across trials must agree with Dinic too.
+		s.SetSeed(seed)
+		pooled := NewNetworkScratch(g, bound, &s)
+		pooled.SetEngine(LocalVC)
+		pooled.SetLocalBudget(budget)
+		fresh := NewNetwork(g, bound)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				_, cP, atLeastP := pooled.MinVertexCut(u, v)
+				_, cF, atLeastF := fresh.MinVertexCut(u, v)
+				if cP != cF || atLeastP != atLeastF {
+					t.Fatalf("trial %d (%d,%d): pooled localvc (%d,%v) vs fresh dinic (%d,%v)",
+						trial, u, v, cP, atLeastP, cF, atLeastF)
+				}
+			}
+		}
+	}
+}
+
+// TestLocalVCSeedDeterminism: the same seed reproduces the exact work
+// profile (fallback counts included), and different seeds change only the
+// work profile, never an answer.
+func TestLocalVCSeedDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomConnectedGraph(40, 0.15, rng)
+	run := func(seed uint64) (answers []int, attempts, fallbacks int64) {
+		nw := NewNetwork(g, 4)
+		nw.SetEngine(LocalVC)
+		nw.SetSeed(seed)
+		nw.SetLocalBudget(6) // small: plenty of overruns and reversals
+		for u := 0; u < 40; u += 3 {
+			for v := u + 1; v < 40; v += 5 {
+				_, c, atLeast := nw.MinVertexCut(u, v)
+				if atLeast {
+					c = -c
+				}
+				answers = append(answers, c)
+			}
+		}
+		return answers, nw.LocalAttempts, nw.LocalFallbacks
+	}
+	a1, at1, fb1 := run(12345)
+	a2, at2, fb2 := run(12345)
+	if at1 != at2 || fb1 != fb2 {
+		t.Fatalf("same seed, different work profile: attempts %d/%d fallbacks %d/%d", at1, at2, fb1, fb2)
+	}
+	a3, _, _ := run(67890)
+	for i := range a1 {
+		if a1[i] != a2[i] || a1[i] != a3[i] {
+			t.Fatalf("answer %d differs across runs/seeds: %d %d %d", i, a1[i], a2[i], a3[i])
+		}
+	}
+	if fb1 == 0 {
+		t.Fatal("budget 6 on a 40-vertex graph should force at least one fallback")
+	}
+}
+
+// TestLocalVCCounters pins the counter semantics: attempts tick per
+// local query, fallbacks only when Dinic had to finish the job, and a
+// scratch rebuild resets both.
+func TestLocalVCCounters(t *testing.T) {
+	g := harary(20, 4)
+	var s Scratch
+	nw := NewNetworkScratch(g, 3, &s)
+	nw.SetEngine(LocalVC)
+	nw.MinVertexCut(0, 10)
+	if nw.LocalAttempts != 1 {
+		t.Fatalf("LocalAttempts = %d, want 1", nw.LocalAttempts)
+	}
+	if nw.LocalFallbacks != 0 {
+		t.Fatalf("default budget covers this network; LocalFallbacks = %d, want 0", nw.LocalFallbacks)
+	}
+	nw.SetLocalBudget(1)
+	nw.MinVertexCut(0, 10)
+	if nw.LocalAttempts != 2 || nw.LocalFallbacks != 1 {
+		t.Fatalf("after forced overrun: attempts=%d fallbacks=%d, want 2/1", nw.LocalAttempts, nw.LocalFallbacks)
+	}
+	nw = NewNetworkScratch(g, 3, &s)
+	if nw.LocalAttempts != 0 || nw.LocalFallbacks != 0 {
+		t.Fatalf("rebuild must reset counters: attempts=%d fallbacks=%d", nw.LocalAttempts, nw.LocalFallbacks)
+	}
+}
+
+// TestLocalVCBudgetOverride pins the budget knob: non-positive restores
+// the heuristic, which floors at minLocalArcBudget.
+func TestLocalVCBudgetOverride(t *testing.T) {
+	nw := NewNetwork(cycle(8), 2)
+	if b := nw.localArcBudget(2); b != minLocalArcBudget {
+		t.Fatalf("small-network budget = %d, want floor %d", b, minLocalArcBudget)
+	}
+	nw.SetLocalBudget(7)
+	if b := nw.localArcBudget(2); b != 7 {
+		t.Fatalf("override budget = %d, want 7", b)
+	}
+	nw.SetLocalBudget(-3)
+	if b := nw.localArcBudget(2); b != minLocalArcBudget {
+		t.Fatalf("negative override must restore the heuristic, got %d", b)
+	}
+}
+
+// TestLocalVCZeroAllocsSteadyState mirrors the PR 4 zero-alloc guarantees
+// for the new engine: warm local queries — including rounds with fake
+// reversals and full Dinic fallbacks — must not allocate, and a
+// cut-returning query may allocate only the cut it hands back.
+func TestLocalVCZeroAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := randomConnectedGraph(120, 0.1, rng)
+	var s Scratch
+	nw := NewNetworkScratch(g, 5, &s)
+	nw.SetEngine(LocalVC)
+	for u := 0; u < 30; u++ { // warm every buffer, parent array included
+		nw.MinVertexCut(u, 119-u)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, atLeast := nw.MinVertexCut(3, 97); !atLeast {
+			t.Fatal("expected atLeastBound pair")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm LocalVC query allocated %.1f times per run, want 0", allocs)
+	}
+
+	// Force the overrun → fake-reversal → Dinic-fallback path; still 0.
+	nw.SetLocalBudget(2)
+	nw.MinVertexCut(3, 97)
+	if nw.LocalFallbacks == 0 {
+		t.Fatal("budget 2 must force a fallback")
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		nw.MinVertexCut(3, 97)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm fallback query allocated %.1f times per run, want 0", allocs)
+	}
+
+	// A cut-returning local query may allocate only the returned slice.
+	nwc := NewNetworkScratch(barbell(8, 3), 5, &s)
+	nwc.SetEngine(LocalVC)
+	nwc.MinVertexCut(0, 8) // warm
+	allocs = testing.AllocsPerRun(200, func() {
+		cut, c, atLeast := nwc.MinVertexCut(0, 8)
+		if atLeast || c != 1 || len(cut) != 1 {
+			t.Fatalf("barbell cut = %v (κ=%d, atLeast=%v)", cut, c, atLeast)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("cut-returning LocalVC query allocated %.1f times per run, want <= 1", allocs)
+	}
+}

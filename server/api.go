@@ -317,6 +317,25 @@ func parseAlgorithm(name string) (kvcc.Algorithm, error) {
 	return 0, fmt.Errorf("unknown algorithm %q (want basic | ns | gs | star)", name)
 }
 
+// ParseFlowEngine maps engine names onto the flow engines, mirroring
+// parseAlgorithm's spellings: short CLI names and common aliases are both
+// accepted; the empty string selects the default auto heuristic. Exported
+// so front-ends (kvccd's -engine flag) can reject bad names up front —
+// Config.FlowEngine itself degrades unknown names to auto.
+func ParseFlowEngine(name string) (kvcc.FlowEngine, error) {
+	switch name {
+	case "", "auto":
+		return kvcc.FlowAuto, nil
+	case "dinic":
+		return kvcc.FlowDinic, nil
+	case "ek", "edmonds-karp":
+		return kvcc.FlowEdmondsKarp, nil
+	case "local", "localvc":
+		return kvcc.FlowLocalVC, nil
+	}
+	return 0, fmt.Errorf("unknown flow engine %q (want auto | dinic | ek | local)", name)
+}
+
 // wireComponent converts one component subgraph to its wire form.
 func wireComponent(c *graph.Graph, withMetrics bool) Component {
 	labels := append([]int64(nil), c.Labels()...)

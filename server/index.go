@@ -128,6 +128,8 @@ func (s *Server) startIndexBuildLocked(name string, e graphEntry) *graphIndex {
 		tree, err := hierarchy.BuildContext(ctx, e.g, hierarchy.Options{
 			MaxK:        ix.maxK,
 			Parallelism: s.cfg.Parallelism,
+			FlowEngine:  s.engine, // kvcc.FlowEngine aliases core.FlowEngine
+			Seed:        s.cfg.Seed,
 		})
 		ix.buildMS = float64(time.Since(begin)) / float64(time.Millisecond)
 		ix.tree, ix.err = tree, err

@@ -88,6 +88,16 @@ type Config struct {
 	// It is independent of ComputeTimeout because an index build covers
 	// every level, not one k.
 	IndexBuildTimeout time.Duration
+	// FlowEngine names the max-flow engine used by every enumeration and
+	// index build: "auto" (default, also the empty string), "dinic",
+	// "ek"/"edmonds-karp", or "local"/"localvc". All engines return
+	// identical results. Unknown names fall back to auto — validate
+	// up front with ParseFlowEngine where an error is wanted (kvccd
+	// rejects bad names at startup).
+	FlowEngine string
+	// Seed seeds the randomized LocalVC engine for every enumeration
+	// (0 = fixed default; results never depend on the seed).
+	Seed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +124,7 @@ type Server struct {
 	cache  *resultCache
 	flight *flightGroup
 	start  time.Time
+	engine kvcc.FlowEngine // parsed from cfg.FlowEngine at New
 
 	mu      sync.Mutex
 	graphs  map[string]graphEntry
@@ -208,11 +219,20 @@ var testHookEnumerateStarted func()
 // New returns a Server with no graphs loaded.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	// An unknown engine name degrades to auto rather than failing: New
+	// has no error return, and auto is correct for every input. Callers
+	// that want strict validation run ParseFlowEngine first, as kvccd
+	// does for its -engine flag.
+	engine, err := ParseFlowEngine(cfg.FlowEngine)
+	if err != nil {
+		engine = kvcc.FlowAuto
+	}
 	return &Server{
 		cfg:     cfg,
 		cache:   newResultCache(cfg.CacheSize),
 		flight:  newFlightGroup(),
 		start:   time.Now(),
+		engine:  engine,
 		graphs:  make(map[string]graphEntry),
 		prev:    make(map[prevKey]seedEntry),
 		indexes: make(map[string]*graphIndex),
@@ -439,7 +459,8 @@ func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 
 	begin := time.Now()
 	res, err := kvcc.EnumerateIncrementalContext(ctx, g, key.k, seed,
-		kvcc.WithAlgorithm(key.algo), kvcc.WithParallelism(s.cfg.Parallelism))
+		kvcc.WithAlgorithm(key.algo), kvcc.WithParallelism(s.cfg.Parallelism),
+		kvcc.WithFlowEngine(s.engine), kvcc.WithSeed(s.cfg.Seed))
 	elapsed := time.Since(begin)
 
 	s.statsMu.Lock()
