@@ -52,12 +52,25 @@ type Delta struct {
 // NewDelta returns an overlay on base with no pending edits, at version 1.
 // A nil base is treated as the empty graph.
 func NewDelta(base *Graph) *Delta {
+	return NewDeltaAt(base, 1)
+}
+
+// NewDeltaAt returns an overlay on base whose version stamp starts at
+// version (clamped to at least 1). The snapshot store uses it on
+// recovery: a graph restored at version v must hand out v+1, v+2, ... for
+// subsequent edits exactly as the pre-crash overlay would have, so that
+// replayed write-ahead-log records and client-visible version stamps
+// stay aligned across restarts.
+func NewDeltaAt(base *Graph, version uint64) *Delta {
 	if base == nil {
 		base = &Graph{}
 	}
+	if version < 1 {
+		version = 1
+	}
 	d := &Delta{
 		base:     base,
-		version:  1,
+		version:  version,
 		labels:   append([]int64(nil), base.labels...),
 		index:    base.LabelIndex(),
 		insPos:   make(map[[2]int]int),

@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -82,6 +83,13 @@ func scanEdges(r io.Reader, visit func(u, v int64) error) error {
 		}
 	}
 	if err := scanner.Err(); err != nil {
+		// bufio's bare "token too long" names neither the offending line
+		// nor the limit; on a multi-gigabyte ingest that is undebuggable.
+		// The scanner stopped before consuming the oversized line, so it
+		// is the one after the last line counted.
+		if errors.Is(err, bufio.ErrTooLong) {
+			return fmt.Errorf("graphio: line %d: line exceeds the %d-byte limit", lineNo+1, maxLineBytes)
+		}
 		return fmt.Errorf("graphio: read: %v", err)
 	}
 	return nil

@@ -87,6 +87,22 @@ func TestStreamEdgeListMalformed(t *testing.T) {
 	}
 }
 
+func TestStreamEdgeListOversizedLine(t *testing.T) {
+	// Two good lines, then a line past the scanner's buffer: the error
+	// must cite the offending line and the limit, not bufio's bare
+	// "token too long".
+	input := "1 2\n2 3\n# " + strings.Repeat("x", maxLineBytes+1) + "\n"
+	_, err := StreamEdgeList(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("expected error for an oversized line")
+	}
+	for _, want := range []string{"line 3", fmt.Sprintf("%d-byte", maxLineBytes)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error should cite %q: %v", want, err)
+		}
+	}
+}
+
 func TestStreamEdgeListDuplicatesAndSelfLoops(t *testing.T) {
 	input := "1 1\n1 2\n2 1\n1 2\n2 3\n3 3\n"
 	g, err := StreamEdgeList(strings.NewReader(input))

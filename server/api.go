@@ -250,7 +250,12 @@ type EditsResponse struct {
 	CacheKept        int     `json:"cache_kept"`
 	CacheInvalidated int     `json:"cache_invalidated"`
 	IndexRepair      string  `json:"index_repair"`
-	ElapsedMS        float64 `json:"elapsed_ms"`
+	// Persisted reports that the batch was fsync'd to the graph's
+	// write-ahead log before this response was built, i.e. it survives a
+	// crash. Absent when the server runs without a data directory (or the
+	// append failed — see StatsResponse.Persistence for the error).
+	Persisted bool    `json:"persisted,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // RemoveGraphResponse acknowledges DELETE /api/v1/graphs/{name}.
@@ -261,11 +266,32 @@ type RemoveGraphResponse struct {
 
 // StatsResponse is the server's operational snapshot.
 type StatsResponse struct {
-	Graphs       []GraphInfo `json:"graphs"`
-	Cache        CacheStats  `json:"cache"`
-	Enumerations EnumStats   `json:"enumerations"`
-	Indexes      []IndexInfo `json:"indexes,omitempty"`
-	UptimeMS     float64     `json:"uptime_ms"`
+	Graphs       []GraphInfo   `json:"graphs"`
+	Cache        CacheStats    `json:"cache"`
+	Enumerations EnumStats     `json:"enumerations"`
+	Indexes      []IndexInfo   `json:"indexes,omitempty"`
+	Persistence  *PersistStats `json:"persistence,omitempty"`
+	UptimeMS     float64       `json:"uptime_ms"`
+}
+
+// PersistStats describes the durability layer of a server running with a
+// data directory (absent from stats otherwise). RecoveredGraphs,
+// ReplayedBatches and TornTails describe the recovery this process
+// performed at startup; the counters below them accumulate over its
+// lifetime. Errors counts non-fatal persistence failures — serving
+// continues in memory — with LastError holding the most recent one.
+type PersistStats struct {
+	Enabled         bool   `json:"enabled"`
+	Graphs          int    `json:"graphs"`
+	RecoveredGraphs int    `json:"recovered_graphs"`
+	ReplayedBatches int    `json:"replayed_batches"`
+	TornTails       int    `json:"torn_tails,omitempty"`
+	WALAppends      int64  `json:"wal_appends"`
+	Checkpoints     int64  `json:"checkpoints"`
+	IndexSaves      int64  `json:"index_saves,omitempty"`
+	IndexLoads      int64  `json:"index_loads,omitempty"`
+	Errors          int64  `json:"errors,omitempty"`
+	LastError       string `json:"last_error,omitempty"`
 }
 
 // EnumStats aggregates the enumeration work the server has performed.

@@ -7,6 +7,7 @@ import (
 
 	"kvcc/graph"
 	"kvcc/internal/kcore"
+	"kvcc/store"
 )
 
 // maxEditBatch bounds one edit request; a client with more edits splits
@@ -54,10 +55,12 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 	// Materialize the graph's overlay on first edit: registration keeps
 	// entries overlay-free so read-only graphs never pay the O(n) label
 	// index. editMu makes the lazy install race-free — no other registry
-	// mutation can interleave.
+	// mutation can interleave. The overlay starts at the entry's current
+	// version, not 1: a graph recovered from its durable store continues
+	// the version sequence its WAL records, so replay stays exact.
 	delta := entry.delta
 	if delta == nil {
-		delta = graph.NewDelta(entry.g)
+		delta = graph.NewDeltaAt(entry.g, entry.version)
 		s.mu.Lock()
 		cur := s.graphs[req.Graph]
 		cur.delta = delta
@@ -113,6 +116,20 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 	newCores := kcore.CoreNumbers(g2)
 	aff := affectedLevels(oldCores, newCores, edited)
 
+	// Durability point: the raw batch is fsync'd to the graph's WAL
+	// before the new generation becomes visible, so any state a client
+	// can observe after this call is recoverable. Replay re-applies the
+	// raw lists through the same overlay code, which is deterministic —
+	// it must land on exactly delta.Version(). A persistence failure
+	// degrades, never blocks: the edit still installs, the response
+	// reports Persisted=false, and Stats records the error.
+	resp.Persisted = s.persistEdits(req.Graph, store.Batch{
+		PrevVersion: entry.version,
+		NewVersion:  delta.Version(),
+		Inserts:     req.Inserts,
+		Deletes:     req.Deletes,
+	})
+
 	// Install the new snapshot under a fresh generation. Every registry
 	// mutation (Edits, AddGraph, RemoveGraph) serializes on editMu, so
 	// the entry looked up above is still the installed one.
@@ -147,6 +164,11 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 		s.retireIndex(req.Graph, newEntry.gen)
 		resp.IndexRepair = "dropped"
 	}
+
+	// Checkpoint policy: after enough logged batches, fold the WAL into a
+	// fresh snapshot. g2 is already the compacted current snapshot, so
+	// the checkpoint costs only the sequential file write.
+	s.maybeCheckpoint(req.Graph, g2, newEntry.version)
 
 	s.statsMu.Lock()
 	s.enum.Edits++

@@ -49,13 +49,14 @@ func GraphPath(name string) string {
 //	GET  /healthz                       -> "ok"
 //
 // Errors use JSON bodies {"error": "..."} with status 400 for invalid
-// parameters, 404 for unknown graphs, 504 for request timeouts, and 500
-// otherwise.
+// parameters, 404 for unknown graphs, 413 for oversized request bodies,
+// 499 for requests whose client disconnected first, 504 for request
+// timeouts, and 500 otherwise.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathEnumerate, func(w http.ResponseWriter, r *http.Request) {
 		var req EnumerateRequest
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(w, r, &req, maxRequestBytes) {
 			return
 		}
 		resp, err := s.Enumerate(r.Context(), req)
@@ -63,7 +64,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST "+PathEnumerateBatch, func(w http.ResponseWriter, r *http.Request) {
 		var req BatchEnumerateRequest
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(w, r, &req, maxRequestBytes) {
 			return
 		}
 		resp, err := s.EnumerateBatch(r.Context(), req)
@@ -71,7 +72,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST "+PathHierarchy, func(w http.ResponseWriter, r *http.Request) {
 		var req HierarchyRequest
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(w, r, &req, maxRequestBytes) {
 			return
 		}
 		resp, err := s.Hierarchy(r.Context(), req)
@@ -79,7 +80,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST "+PathCohesion, func(w http.ResponseWriter, r *http.Request) {
 		var req CohesionRequest
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(w, r, &req, maxRequestBytes) {
 			return
 		}
 		resp, err := s.Cohesion(r.Context(), req)
@@ -87,7 +88,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST "+PathContaining, func(w http.ResponseWriter, r *http.Request) {
 		var req ContainingRequest
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(w, r, &req, maxRequestBytes) {
 			return
 		}
 		resp, err := s.ComponentsContaining(r.Context(), req)
@@ -95,7 +96,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST "+PathOverlap, func(w http.ResponseWriter, r *http.Request) {
 		var req OverlapRequest
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(w, r, &req, maxRequestBytes) {
 			return
 		}
 		resp, err := s.Overlap(r.Context(), req)
@@ -109,7 +110,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST "+PathGraphs+"/{name}/edits", func(w http.ResponseWriter, r *http.Request) {
 		var req EditsRequest
-		if !decodeJSON(w, r, &req) {
+		if !decodeJSON(w, r, &req, maxEditsRequestBytes) {
 			return
 		}
 		name := r.PathValue("name")
@@ -137,15 +138,33 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// maxRequestBytes caps request bodies; every request type is a handful of
-// small fields, so 1 MiB is generous while keeping one client from
-// buffering arbitrary amounts of memory server-side.
-const maxRequestBytes = 1 << 20
+// maxRequestBytes caps query request bodies; those request types are a
+// handful of small fields, so 1 MiB is generous while keeping one client
+// from buffering arbitrary amounts of memory server-side.
+//
+// The edits route needs its own cap: a legal batch holds maxEditBatch
+// edges, and one edge costs up to 46 bytes of JSON ("[l,l]," with two
+// full-width int64 literals) — far past 1 MiB. Size the cap from the
+// batch limit (rounded up to 64 bytes per edit for whitespace and field
+// framing) so every batch the server would accept also fits the body cap,
+// and only bodies that would be rejected anyway get cut off early.
+const (
+	maxRequestBytes      = 1 << 20
+	maxEditsRequestBytes = 64*maxEditBatch + maxRequestBytes
+)
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		// MaxBytesReader tripping is its own condition — the request was
+		// well-formed but too large — and gets the status that says so.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %v", err))
 		return false
 	}
@@ -163,13 +182,20 @@ func respond(w http.ResponseWriter, body any, err error) {
 	enc.Encode(body)
 }
 
+// statusClientClosedRequest is the (nginx-coined) status for a request
+// whose client went away before the response: not a timeout the server
+// hit, so 504 would misattribute it, and there is no standard code.
+const statusClientClosedRequest = 499
+
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownGraph):
 		return http.StatusNotFound
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError

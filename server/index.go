@@ -134,8 +134,37 @@ func (s *Server) startIndexBuildLocked(name string, e graphEntry) *graphIndex {
 		ix.buildMS = float64(time.Since(begin)) / float64(time.Millisecond)
 		ix.tree, ix.err = tree, err
 		close(ix.ready)
+		// Persist after ready closes so queries start using the index
+		// immediately; the save is advisory (it only speeds up the next
+		// restart) and checks the generation itself.
+		s.persistIndex(ix)
 	}()
 	return ix
+}
+
+// installReadyIndex registers an already-finished tree (loaded from a
+// graph's durable store at recovery) as the graph's index: a graphIndex
+// born ready, with nothing to cancel. The usual generation guard applies,
+// so a racing build for a newer generation is never displaced.
+func (s *Server) installReadyIndex(name string, e graphEntry, tree *hierarchy.Tree, buildMS float64) {
+	ix := &graphIndex{
+		graph:   name,
+		gen:     e.gen,
+		maxK:    s.cfg.IndexMaxK,
+		ready:   make(chan struct{}),
+		cancel:  func() {},
+		tree:    tree,
+		buildMS: buildMS,
+	}
+	close(ix.ready)
+	s.indexMu.Lock()
+	if cur := s.indexes[name]; cur == nil || cur.gen < e.gen {
+		if cur != nil {
+			cur.cancel()
+		}
+		s.indexes[name] = ix
+	}
+	s.indexMu.Unlock()
 }
 
 // readyIndex returns the finished index build for (name, gen), or nil

@@ -27,6 +27,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"kvcc"
 	"kvcc/graph"
 	"kvcc/graphio"
+	"kvcc/store"
 )
 
 // Errors mapped to HTTP statuses by the handlers; the Client surfaces the
@@ -98,6 +100,17 @@ type Config struct {
 	// Seed seeds the randomized LocalVC engine for every enumeration
 	// (0 = fixed default; results never depend on the seed).
 	Seed uint64
+	// DataDir enables durability: every registered graph gets an on-disk
+	// store (mmap-able CSR snapshot + write-ahead log of edit batches +
+	// persisted hierarchy index) in a subdirectory, and Open recovers the
+	// whole registry from it after a restart. Empty (the default) keeps
+	// the server purely in-memory.
+	DataDir string
+	// CheckpointEvery folds the WAL into a fresh snapshot after this many
+	// durably logged edit batches (default 32). Negative disables
+	// checkpointing beyond the initial registration snapshot, leaving the
+	// WAL to grow; 0 selects the default.
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +125,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IndexBuildTimeout <= 0 {
 		c.IndexBuildTimeout = 10 * time.Minute
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 32
 	}
 	return c
 }
@@ -144,16 +160,24 @@ type Server struct {
 	// table is bounded by the cache capacity — seeds for keys that are
 	// never queried again are evicted oldest-first (see putSeed), so an
 	// edit-heavy workload cannot grow retained memory past what the
-	// cache itself was sized for.
-	prevMu  sync.Mutex
-	prev    map[prevKey]seedEntry
-	seedSeq uint64
+	// cache itself was sized for. seedOrder keeps the entries in
+	// recency order (front = newest) so eviction is O(1), not a scan.
+	prevMu    sync.Mutex
+	prev      map[prevKey]*list.Element // values are *seedRecord
+	seedOrder *list.List
 
 	indexMu sync.Mutex
 	indexes map[string]*graphIndex
 
 	statsMu sync.Mutex
 	enum    EnumStats
+
+	// storeMu guards the per-graph durability stores and the persistence
+	// counters (see persist.go). Nil-able independent of cfg: with no
+	// DataDir the map simply stays empty.
+	storeMu sync.Mutex
+	stores  map[string]*store.Store
+	persist PersistStats
 }
 
 // graphEntry pairs a registered graph with the generation of the AddGraph
@@ -184,30 +208,53 @@ type prevKey struct {
 	algo  kvcc.Algorithm
 }
 
-// seedEntry is one stored seed; seq orders eviction (oldest first).
-type seedEntry struct {
+// seedRecord is one stored seed, threaded on seedOrder for eviction.
+type seedRecord struct {
+	key prevKey
 	res *kvcc.Result
-	seq uint64
 }
 
 // putSeed stores res as the incremental seed for key, evicting the
 // oldest seeds when the table would exceed the cache capacity (the seeds
 // are dropped cache entries, so the cache's own size is the natural
-// bound on what edits may retain).
+// bound on what edits may retain). Recency lives on seedOrder, so both
+// the store and the eviction are O(1) — an edit batch dropping many
+// cache entries no longer pays a full-table scan per seed.
 func (s *Server) putSeed(key prevKey, res *kvcc.Result) {
 	s.prevMu.Lock()
 	defer s.prevMu.Unlock()
-	s.seedSeq++
-	s.prev[key] = seedEntry{res: res, seq: s.seedSeq}
+	if el, ok := s.prev[key]; ok {
+		el.Value.(*seedRecord).res = res
+		s.seedOrder.MoveToFront(el)
+	} else {
+		s.prev[key] = s.seedOrder.PushFront(&seedRecord{key: key, res: res})
+	}
 	for len(s.prev) > s.cfg.CacheSize {
-		var oldest prevKey
-		first := true
-		for k, e := range s.prev {
-			if first || e.seq < s.prev[oldest].seq {
-				oldest, first = k, false
-			}
-		}
-		delete(s.prev, oldest)
+		back := s.seedOrder.Back()
+		s.seedOrder.Remove(back)
+		delete(s.prev, back.Value.(*seedRecord).key)
+	}
+}
+
+// peekSeed returns the stored seed for key without consuming it.
+func (s *Server) peekSeed(key prevKey) *kvcc.Result {
+	s.prevMu.Lock()
+	defer s.prevMu.Unlock()
+	if el, ok := s.prev[key]; ok {
+		return el.Value.(*seedRecord).res
+	}
+	return nil
+}
+
+// consumeSeed removes the seed for key, but only if it is still the one
+// the caller peeked — a newer seed installed by a later edit batch must
+// survive for the first enumeration on that batch's snapshot.
+func (s *Server) consumeSeed(key prevKey, res *kvcc.Result) {
+	s.prevMu.Lock()
+	defer s.prevMu.Unlock()
+	if el, ok := s.prev[key]; ok && el.Value.(*seedRecord).res == res {
+		s.seedOrder.Remove(el)
+		delete(s.prev, key)
 	}
 }
 
@@ -228,14 +275,16 @@ func New(cfg Config) *Server {
 		engine = kvcc.FlowAuto
 	}
 	return &Server{
-		cfg:     cfg,
-		cache:   newResultCache(cfg.CacheSize),
-		flight:  newFlightGroup(),
-		start:   time.Now(),
-		engine:  engine,
-		graphs:  make(map[string]graphEntry),
-		prev:    make(map[prevKey]seedEntry),
-		indexes: make(map[string]*graphIndex),
+		cfg:       cfg,
+		cache:     newResultCache(cfg.CacheSize),
+		flight:    newFlightGroup(),
+		start:     time.Now(),
+		engine:    engine,
+		graphs:    make(map[string]graphEntry),
+		prev:      make(map[prevKey]*list.Element),
+		seedOrder: list.New(),
+		indexes:   make(map[string]*graphIndex),
+		stores:    make(map[string]*store.Store),
 	}
 }
 
@@ -271,6 +320,7 @@ func (s *Server) AddGraph(name string, g *graph.Graph) {
 	} else {
 		s.retireIndex(name, entry.gen)
 	}
+	s.persistNewGraph(name, g)
 }
 
 // RemoveGraph unregisters the named graph, drops its cached results and
@@ -297,14 +347,16 @@ func (s *Server) RemoveGraph(name string) bool {
 	s.cache.invalidateGraph(name)
 	s.dropSeeds(name)
 	s.invalidateIndex(name)
+	s.dropStore(name)
 	return true
 }
 
 // dropSeeds discards every incremental seed held for the named graph.
 func (s *Server) dropSeeds(name string) {
 	s.prevMu.Lock()
-	for key := range s.prev {
+	for key, el := range s.prev {
 		if key.graph == name {
+			s.seedOrder.Remove(el)
 			delete(s.prev, key)
 		}
 	}
@@ -453,9 +505,7 @@ func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 	// touch. Seeds are one-shot — consumed on success below — so the
 	// retained Result's memory is bounded by what was cached at edit time.
 	seedKey := prevKey{graph: key.graph, k: key.k, algo: key.algo}
-	s.prevMu.Lock()
-	seed := s.prev[seedKey].res
-	s.prevMu.Unlock()
+	seed := s.peekSeed(seedKey)
 
 	begin := time.Now()
 	res, err := kvcc.EnumerateIncrementalContext(ctx, g, key.k, seed,
@@ -464,7 +514,10 @@ func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 	elapsed := time.Since(begin)
 
 	s.statsMu.Lock()
-	if err != nil {
+	// A canceled enumeration is the caller's choice (a disconnected
+	// client, a withdrawn request), not a server failure — only genuine
+	// errors (timeouts included) count toward Errors.
+	if err != nil && !errors.Is(err, context.Canceled) {
 		s.enum.Errors++
 	}
 	ms := float64(elapsed) / float64(time.Millisecond)
@@ -495,11 +548,7 @@ func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 			s.enum.IncrementalRuns++
 			s.enum.ComponentsReused += res.Stats.ComponentsReused
 			s.statsMu.Unlock()
-			s.prevMu.Lock()
-			if s.prev[seedKey].res == seed {
-				delete(s.prev, seedKey)
-			}
-			s.prevMu.Unlock()
+			s.consumeSeed(seedKey, seed)
 		}
 	}
 	return res, nil
@@ -612,6 +661,7 @@ func (s *Server) Stats() *StatsResponse {
 		Cache:        s.cache.stats(),
 		Enumerations: enum,
 		Indexes:      s.indexInfos(),
+		Persistence:  s.persistStats(),
 		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
 	}
 }

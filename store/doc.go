@@ -1,0 +1,29 @@
+// Package store is the durability layer of the serving stack: a
+// versioned, checksummed, binary on-disk CSR snapshot format opened via
+// mmap, plus a write-ahead log of edit batches on top of it.
+//
+// A store directory holds one graph:
+//
+//	snapshot.kvcc   the last checkpointed CSR snapshot (header + offsets
+//	                + edges + label table, all little-endian int64,
+//	                CRC64-checksummed)
+//	wal.log         edit batches applied since that snapshot, each
+//	                fsync'd before the server installs the new generation
+//	index.kvcc      the graph's hierarchy index at a specific version,
+//	                persisted so a restart resumes index-served traffic
+//
+// Opening a store maps the snapshot read-only and adopts its arrays into
+// a graph.Graph without copying (graph.AdoptCSR), so startup cost is
+// O(1) in the graph size and capacity is bounded by disk, not RAM; the
+// WAL tail is then replayed through a graph.Delta overlay, tolerating a
+// torn final record (the batch that was being appended when the process
+// died). Checkpointing writes a fresh snapshot atomically (temp file +
+// fsync + rename) and truncates the WAL; a crash at any point between
+// those steps recovers exactly, because every WAL record carries the
+// version range it produced and records at or below the snapshot version
+// are skipped on replay.
+//
+// The package is deliberately independent of the server: it speaks
+// graph.Graph, graph.Delta and hierarchy.Tree, and the server package
+// wires it into registration, edits and recovery.
+package store

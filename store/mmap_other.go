@@ -1,0 +1,24 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+const mmapSupported = false
+
+// mapFile on platforms without a usable mmap reads the region into the
+// heap. Correctness is identical; the O(1)-startup and larger-than-RAM
+// properties are not available here.
+func mapFile(f *os.File, size int) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data = make([]byte, size)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, int64(size)), data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,27 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform serves snapshots straight
+// from the page cache. Where false, openSnapshotBytes reads the file
+// into the heap instead — same bytes, no O(1) startup.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and returns the mapping plus
+// its releaser. The mapping outlives f being closed; pages fault in on
+// first access, so mapping a huge snapshot is O(1).
+func mapFile(f *os.File, size int) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

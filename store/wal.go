@@ -1,0 +1,194 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+)
+
+// Batch is one durably logged edit batch: the raw insert/delete lists a
+// client submitted, bracketed by the overlay version before and after
+// applying them. Application is deterministic (effectiveness of each
+// edit is a pure function of graph state), so replaying the same batch
+// onto the same base always reproduces NewVersion — recovery checks
+// exactly that.
+type Batch struct {
+	PrevVersion uint64
+	NewVersion  uint64
+	Inserts     [][2]int64
+	Deletes     [][2]int64
+}
+
+// WAL record layout (little-endian):
+//
+//	[ 0: 4)  record magic "KVWA" (u32)
+//	[ 4: 8)  payload length (u32)
+//	[ 8:16)  payload CRC64-ECMA
+//	[16:  )  payload:
+//	          prev version (u64), new version (u64)
+//	          insert count (u32), delete count (u32)
+//	          inserts, then deletes: two int64 labels each
+//
+// Appends are a single Write followed by fsync. A crash mid-append
+// leaves a torn final record; replay detects it (short payload, bad
+// magic, or CRC mismatch), drops it, and the next open truncates the
+// file back to the last intact record.
+
+// encodeBatch renders one record.
+func encodeBatch(b Batch) []byte {
+	payload := 24 + 16*(len(b.Inserts)+len(b.Deletes))
+	rec := make([]byte, walHeader+payload)
+	p := rec[walHeader:]
+	binary.LittleEndian.PutUint64(p[0:8], b.PrevVersion)
+	binary.LittleEndian.PutUint64(p[8:16], b.NewVersion)
+	binary.LittleEndian.PutUint32(p[16:20], uint32(len(b.Inserts)))
+	binary.LittleEndian.PutUint32(p[20:24], uint32(len(b.Deletes)))
+	off := 24
+	for _, e := range b.Inserts {
+		binary.LittleEndian.PutUint64(p[off:], uint64(e[0]))
+		binary.LittleEndian.PutUint64(p[off+8:], uint64(e[1]))
+		off += 16
+	}
+	for _, e := range b.Deletes {
+		binary.LittleEndian.PutUint64(p[off:], uint64(e[0]))
+		binary.LittleEndian.PutUint64(p[off+8:], uint64(e[1]))
+		off += 16
+	}
+	binary.LittleEndian.PutUint32(rec[0:4], walRecordMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(payload))
+	binary.LittleEndian.PutUint64(rec[8:16], crc64.Checksum(p, crcTable))
+	return rec
+}
+
+// decodeBatchPayload parses a record payload already validated by CRC.
+func decodeBatchPayload(p []byte) (Batch, error) {
+	if len(p) < 24 {
+		return Batch{}, fmt.Errorf("payload too short (%d bytes)", len(p))
+	}
+	b := Batch{
+		PrevVersion: binary.LittleEndian.Uint64(p[0:8]),
+		NewVersion:  binary.LittleEndian.Uint64(p[8:16]),
+	}
+	nIns := int(binary.LittleEndian.Uint32(p[16:20]))
+	nDel := int(binary.LittleEndian.Uint32(p[20:24]))
+	if 24+16*(nIns+nDel) != len(p) {
+		return Batch{}, fmt.Errorf("payload length %d does not match %d+%d edits", len(p), nIns, nDel)
+	}
+	off := 24
+	b.Inserts = make([][2]int64, nIns)
+	for i := range b.Inserts {
+		b.Inserts[i][0] = int64(binary.LittleEndian.Uint64(p[off:]))
+		b.Inserts[i][1] = int64(binary.LittleEndian.Uint64(p[off+8:]))
+		off += 16
+	}
+	b.Deletes = make([][2]int64, nDel)
+	for i := range b.Deletes {
+		b.Deletes[i][0] = int64(binary.LittleEndian.Uint64(p[off:]))
+		b.Deletes[i][1] = int64(binary.LittleEndian.Uint64(p[off+8:]))
+		off += 16
+	}
+	return b, nil
+}
+
+// readWAL scans the log at path and returns every intact record plus the
+// byte offset of the clean prefix. A torn or corrupt record ends the
+// scan: everything from it onward is the tail a crash was allowed to
+// mangle, and the caller truncates it away. A missing file is an empty
+// log.
+func readWAL(path string) (batches []Batch, goodSize int64, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			break
+		}
+		if len(rest) < walHeader {
+			break // torn header
+		}
+		if binary.LittleEndian.Uint32(rest[0:4]) != walRecordMagic {
+			break // garbage — treat as tear, keep the clean prefix
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(rest[4:8]))
+		if payloadLen < 24 || walHeader+payloadLen > len(rest) {
+			break // torn payload
+		}
+		payload := rest[walHeader : walHeader+payloadLen]
+		if crc64.Checksum(payload, crcTable) != binary.LittleEndian.Uint64(rest[8:16]) {
+			break // bit rot or tear inside the payload
+		}
+		b, err := decodeBatchPayload(payload)
+		if err != nil {
+			break
+		}
+		batches = append(batches, b)
+		off += walHeader + payloadLen
+	}
+	return batches, int64(off), nil
+}
+
+// wal is the append handle for one log file, opened after recovery has
+// already truncated any torn tail.
+type wal struct {
+	f    *os.File
+	path string
+}
+
+// openWAL opens (creating if needed) the log for appending, first
+// truncating it to goodSize so a torn tail from the previous process
+// can never sit between old and new records.
+func openWAL(path string, goodSize int64) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if info.Size() > goodSize {
+		if err := f.Truncate(goodSize); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(goodSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, path: path}, nil
+}
+
+// append durably adds one record: write, then fsync, before returning.
+func (w *wal) append(b Batch) error {
+	if _, err := w.f.Write(encodeBatch(b)); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// reset empties the log after a checkpoint made its records redundant.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error { return w.f.Close() }
