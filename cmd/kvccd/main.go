@@ -8,7 +8,7 @@
 //
 //	kvccd -graph social=social.txt -graph web=web.txt [-addr :7474]
 //	      [-cache 64] [-max-k 0] [-parallel 1] [-index] [-index-max-k 0]
-//	      [-engine auto] [-seed 0]
+//	      [-index-measures kvcc] [-engine auto] [-seed 0]
 //	      [-request-timeout 30s] [-compute-timeout 5m] [-demo] [-selftest]
 //
 // -graph name=path registers an edge list under a query name and may be
@@ -43,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"kvcc"
 	"kvcc/gen"
 	"kvcc/graph"
 	"kvcc/server"
@@ -81,16 +82,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	graphs := graphFlags{}
 	fs.Var(graphs, "graph", "name=path of an edge list to serve (repeatable)")
 	var (
-		addr           = fs.String("addr", ":7474", "listen address")
-		cacheSize      = fs.Int("cache", 64, "result cache capacity (entries)")
-		maxK           = fs.Int("max-k", 0, "reject queries with k above this (0 = no limit)")
-		parallel       = fs.Int("parallel", 1, "enumeration worker count")
-		index          = fs.Bool("index", false, "precompute the hierarchy index of every graph at startup")
-		indexMaxK      = fs.Int("index-max-k", 0, "truncate hierarchy index builds at this level (0 = full depth)")
-		engine         = fs.String("engine", "auto", "max-flow engine: auto | dinic | ek | local (results are identical)")
-		seed           = fs.Uint64("seed", 0, "seed for the randomized local cut engine (0 = fixed default)")
-		requestTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request wait ceiling")
-		computeTimeout = fs.Duration("compute-timeout", 5*time.Minute, "per-enumeration ceiling")
+		addr            = fs.String("addr", ":7474", "listen address")
+		cacheSize       = fs.Int("cache", 64, "result cache capacity (entries)")
+		maxK            = fs.Int("max-k", 0, "reject queries with k above this (0 = no limit)")
+		parallel        = fs.Int("parallel", 1, "enumeration worker count")
+		index           = fs.Bool("index", false, "precompute the hierarchy index of every graph at startup")
+		indexMaxK       = fs.Int("index-max-k", 0, "truncate hierarchy index builds at this level (0 = full depth)")
+		indexMeasures   = fs.String("index-measures", "kvcc", "comma-separated cohesion measures to index eagerly with -index: kvcc | kecc | kcore")
+		engine          = fs.String("engine", "auto", "max-flow engine: auto | dinic | ek | local (results are identical)")
+		seed            = fs.Uint64("seed", 0, "seed for the randomized local cut engine (0 = fixed default)")
+		requestTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request wait ceiling")
+		computeTimeout  = fs.Duration("compute-timeout", 5*time.Minute, "per-enumeration ceiling")
 		demo            = fs.Bool("demo", false, `also serve a generated community graph as "demo"`)
 		selftest        = fs.Bool("selftest", false, "start on an ephemeral port, exercise every endpoint, exit")
 		dataDir         = fs.String("data-dir", "", "durable store directory: graphs survive restarts via snapshot + WAL (empty = in-memory only)")
@@ -112,6 +114,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "kvccd: -engine:", err)
 		return 2
 	}
+	// Same for measures: server.New skips unknown names silently.
+	measures := strings.Split(*indexMeasures, ",")
+	for _, m := range measures {
+		if _, err := kvcc.ParseMeasure(strings.TrimSpace(m)); err != nil {
+			fmt.Fprintln(stderr, "kvccd: -index-measures:", err)
+			return 2
+		}
+	}
 
 	cfg := server.Config{
 		CacheSize:       *cacheSize,
@@ -121,6 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ComputeTimeout:  *computeTimeout,
 		BuildIndex:      *index,
 		IndexMaxK:       *indexMaxK,
+		IndexMeasures:   measures,
 		FlowEngine:      *engine,
 		Seed:            *seed,
 		DataDir:         *dataDir,
@@ -326,6 +337,65 @@ func runSelfTest(srv *server.Server, indexMaxK int, stdout, stderr io.Writer) in
 			v, coh.Results[0].Cohesion, len(coh.Results[0].Path))
 	}
 
+	// Cohesion suite: the same k served under all three measures, which
+	// must nest — every k-VCC inside some k-ECC inside some k-core
+	// component (Whitney: κ ≤ λ ≤ δ).
+	kecc, err := client.Enumerate(ctx, server.EnumerateRequest{Graph: name, K: k, Measure: "kecc"})
+	if err != nil {
+		return fail("enumerate (kecc)", err)
+	}
+	kcore, err := client.Enumerate(ctx, server.EnumerateRequest{Graph: name, K: k, Measure: "kcore"})
+	if err != nil {
+		return fail("enumerate (kcore)", err)
+	}
+	if err := checkNesting(first.Components, kecc.Components, "k-ECC"); err != nil {
+		return fail("nesting", err)
+	}
+	if err := checkNesting(kecc.Components, kcore.Components, "k-core component"); err != nil {
+		return fail("nesting", err)
+	}
+	fmt.Fprintf(stdout, "selftest: %d kvcc ⊆ %d kecc ⊆ %d kcore components at k=%d (nesting holds)\n",
+		len(first.Components), len(kecc.Components), len(kcore.Components), k)
+
+	// A repeated non-default-measure query must ride the same ladder.
+	keccRepeat, err := client.Enumerate(ctx, server.EnumerateRequest{Graph: name, K: k, Measure: "kecc"})
+	if err != nil {
+		return fail("enumerate (kecc repeat)", err)
+	}
+	if !keccRepeat.Cached && !keccRepeat.IndexServed {
+		return fail("cache (kecc)", fmt.Errorf("repeated kecc query was recomputed"))
+	}
+	fmt.Fprintf(stdout, "selftest: repeat kecc query served without recomputation (cached=%v index=%v)\n",
+		keccRepeat.Cached, keccRepeat.IndexServed)
+
+	// Profile: structural summary plus per-vertex (core, λ, κ) for a
+	// community vertex, which must be consistent with the k-VCC above.
+	if len(first.Components) > 0 {
+		v := first.Components[0].Vertices[0]
+		prof, err := client.Profile(ctx, server.ProfileRequest{Graph: name, Vertices: []int64{v}})
+		if err != nil {
+			return fail("profile", err)
+		}
+		if prof.Degeneracy < k {
+			return fail("profile", fmt.Errorf("graph holds a %d-VCC but degeneracy is %d", k, prof.Degeneracy))
+		}
+		if len(prof.PerVertex) != 1 {
+			return fail("profile", fmt.Errorf("asked for 1 vertex profile, got %d", len(prof.PerVertex)))
+		}
+		pv := prof.PerVertex[0]
+		wantAtLeast := k
+		if indexMaxK > 0 && indexMaxK < k {
+			wantAtLeast = indexMaxK
+		}
+		if pv.Core < pv.Lambda || pv.Lambda < pv.Kappa || pv.Kappa < wantAtLeast {
+			return fail("profile", fmt.Errorf("vertex %d in a %d-VCC profiles as core=%d λ=%d κ=%d",
+				v, k, pv.Core, pv.Lambda, pv.Kappa))
+		}
+		fmt.Fprintf(stdout, "selftest: profile of %q: degeneracy=%d, %d components, recommended k %d..%d (suggested %d); vertex %d: core=%d λ=%d κ=%d\n",
+			name, prof.Degeneracy, prof.Components.Count, prof.RecommendedK.Min, prof.RecommendedK.Max,
+			prof.RecommendedK.Suggested, v, pv.Core, pv.Lambda, pv.Kappa)
+	}
+
 	batch, err := client.EnumerateBatch(ctx, server.BatchEnumerateRequest{Graph: name, Ks: []int{2, 3, k}})
 	if err != nil {
 		return fail("enumerate-batch", err)
@@ -403,6 +473,36 @@ func runSelfTest(srv *server.Server, indexMaxK int, stdout, stderr io.Writer) in
 
 	fmt.Fprintln(stdout, "selftest: ok")
 	return 0
+}
+
+// checkNesting asserts every inner component's vertex set is contained in
+// a single outer component — the per-level nesting the cohesion measures
+// guarantee (k-VCC ⊆ k-ECC ⊆ k-core component).
+func checkNesting(inner, outer []server.Component, outerName string) error {
+	for i, in := range inner {
+		contained := false
+		for _, out := range outer {
+			set := make(map[int64]bool, len(out.Vertices))
+			for _, v := range out.Vertices {
+				set[v] = true
+			}
+			all := true
+			for _, v := range in.Vertices {
+				if !set[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			return fmt.Errorf("inner component %d (%d vertices) is not inside any %s", i, len(in.Vertices), outerName)
+		}
+	}
+	return nil
 }
 
 // runPersistSelfTest proves the durability layer end to end: a first

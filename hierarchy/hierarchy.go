@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"kvcc/cohesion"
 	"kvcc/graph"
 	"kvcc/internal/core"
 )
@@ -41,6 +42,10 @@ type Tree struct {
 	// is complete: it was built until a level came up empty, so Level(k)
 	// is exact for every k).
 	BuiltMaxK int
+	// Measure is the cohesion measure the tree indexes. The zero value is
+	// cohesion.KVCC, so trees built (or persisted) before the measure
+	// existed read back as k-VCC hierarchies.
+	Measure cohesion.Measure
 	// Stats describes the enumeration work performed by Build.
 	Stats Stats
 
@@ -88,6 +93,11 @@ type Options struct {
 	// is empty; termination is guaranteed because κ of any component is
 	// bounded by its degeneracy).
 	MaxK int
+	// Measure selects the cohesion measure the hierarchy indexes (default
+	// cohesion.KVCC). The incremental nested build is valid for every
+	// measure: k-cores, k-ECCs and k-VCCs all nest level-over-level, so
+	// level k+1 is always found inside the level-k components.
+	Measure cohesion.Measure
 	// Algorithm selects the enumeration variant (default VCCEStar).
 	Algorithm core.Algorithm
 	// Parallelism enumerates sibling components of one level with this
@@ -129,10 +139,10 @@ func BuildContext(ctx context.Context, g *graph.Graph, opts Options) (*Tree, err
 		Seed:       opts.Seed,
 	}
 
-	tree := &Tree{BuiltMaxK: opts.MaxK}
+	tree := &Tree{BuiltMaxK: opts.MaxK, Measure: opts.Measure}
 	frontier := []*Node{{Component: g}} // pseudo-parent for level 1
 	for k := 1; len(frontier) > 0 && (opts.MaxK == 0 || k <= opts.MaxK); k++ {
-		next, lvl, err := buildLevel(ctx, frontier, k, coreOpts, opts.Parallelism)
+		next, lvl, err := buildLevel(ctx, frontier, k, opts.Measure, coreOpts, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -154,10 +164,11 @@ func BuildContext(ctx context.Context, g *graph.Graph, opts Options) (*Tree, err
 	return tree, nil
 }
 
-// buildLevel enumerates the k-VCCs inside every frontier component,
-// optionally in parallel across siblings, and returns the new level in
-// canonical order with parent/child links installed.
-func buildLevel(ctx context.Context, frontier []*Node, k int, coreOpts core.Options, workers int) ([]*Node, LevelStats, error) {
+// buildLevel enumerates the level-k components of the chosen measure
+// inside every frontier component, optionally in parallel across siblings,
+// and returns the new level in canonical order with parent/child links
+// installed.
+func buildLevel(ctx context.Context, frontier []*Node, k int, m cohesion.Measure, coreOpts core.Options, workers int) ([]*Node, LevelStats, error) {
 	lvl := LevelStats{K: k}
 	type result struct {
 		comps []*graph.Graph
@@ -177,7 +188,7 @@ func buildLevel(ctx context.Context, frontier []*Node, k int, coreOpts core.Opti
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					comps, st, err := core.EnumerateContext(ctx, frontier[i].Component, k, coreOpts)
+					comps, st, err := cohesion.EnumerateContext(ctx, frontier[i].Component, k, m, coreOpts)
 					results[i] = result{comps, st, err}
 				}
 			}()
@@ -189,7 +200,7 @@ func buildLevel(ctx context.Context, frontier []*Node, k int, coreOpts core.Opti
 		wg.Wait()
 	} else {
 		for i, parent := range frontier {
-			comps, st, err := core.EnumerateContext(ctx, parent.Component, k, coreOpts)
+			comps, st, err := cohesion.EnumerateContext(ctx, parent.Component, k, m, coreOpts)
 			results[i] = result{comps, st, err}
 			if err != nil {
 				break

@@ -12,23 +12,46 @@ package kecc
 
 import (
 	"container/heap"
+	"context"
 
 	"kvcc/graph"
+	"kvcc/internal/core"
 	"kvcc/internal/kcore"
 )
 
 // Enumerate returns all k-ECCs of g (k >= 1) as induced subgraphs with
-// labels preserved, ordered deterministically (largest first).
+// labels preserved, in the canonical core.SortComponents order.
 func Enumerate(g *graph.Graph, k int) []*graph.Graph {
+	comps, _, err := EnumerateContext(context.Background(), g, k)
+	if err != nil {
+		// Only cancellation can fail, and the background context never
+		// cancels.
+		panic("kecc: " + err.Error())
+	}
+	return comps
+}
+
+// EnumerateContext is Enumerate with cancellation and a work report,
+// matching the contract of the other cohesion engines: the queue loop and
+// every Stoer–Wagner phase check the context, and cancellation returns
+// ctx.Err() discarding partial results. Stats counts k-core peeling,
+// global cut searches (GlobalCutCalls) and edge-cut partitions
+// (Partitions).
+func EnumerateContext(ctx context.Context, g *graph.Graph, k int) ([]*graph.Graph, *core.Stats, error) {
 	if k < 1 {
 		panic("kecc: k must be >= 1")
 	}
+	stats := &core.Stats{}
 	var results []*graph.Graph
 	queue := []*graph.Graph{g}
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		h := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		cored, _ := kcore.Reduce(h, k)
+		cored, peeled := kcore.Reduce(h, k)
+		stats.KCorePeeled += int64(peeled)
 		if cored.NumVertices() == 0 {
 			continue
 		}
@@ -37,11 +60,16 @@ func Enumerate(g *graph.Graph, k int) []*graph.Graph {
 			if sub.NumVertices() <= 1 {
 				continue
 			}
-			side, found := globalEdgeCutBelow(sub, k)
+			stats.GlobalCutCalls++
+			side, found, err := globalEdgeCutBelow(ctx, sub, k)
+			if err != nil {
+				return nil, nil, err
+			}
 			if !found {
 				results = append(results, sub)
 				continue
 			}
+			stats.Partitions++
 			inSide := make([]bool, sub.NumVertices())
 			for _, v := range side {
 				inSide[v] = true
@@ -57,44 +85,62 @@ func Enumerate(g *graph.Graph, k int) []*graph.Graph {
 			queue = append(queue, sub.RemoveEdges(crossing))
 		}
 	}
-	sortBySize(results)
-	return results
+	core.SortComponents(results)
+	return results, stats, nil
 }
 
 // EdgeConnectivity returns λ(G): the weight of the global minimum edge
 // cut, computed by a full Stoer–Wagner run. Returns 0 for disconnected or
 // trivial graphs.
 func EdgeConnectivity(g *graph.Graph) int {
+	lambda, err := EdgeConnectivityContext(context.Background(), g)
+	if err != nil {
+		panic("kecc: " + err.Error())
+	}
+	return lambda
+}
+
+// EdgeConnectivityContext is EdgeConnectivity with cancellation, checked
+// once per Stoer–Wagner phase (each phase is one maximum-adjacency
+// ordering, O(m log n) — previously a full run was uncancellable).
+func EdgeConnectivityContext(ctx context.Context, g *graph.Graph) (int, error) {
 	if g.NumVertices() <= 1 || !g.IsConnected() {
-		return 0
+		return 0, nil
 	}
 	sw := newContracted(g)
 	best := g.NumEdges() + 1
 	for sw.size() > 1 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		_, cutWeight := sw.phase()
 		if cutWeight < best {
 			best = cutWeight
 		}
 	}
-	return best
+	return best, nil
 }
 
 // globalEdgeCutBelow looks for any global edge cut of weight < k in a
 // connected graph. It returns one side of the first qualifying
 // cut-of-the-phase (every cut-of-the-phase is a valid global cut, so the
-// search may stop before the true minimum is known).
-func globalEdgeCutBelow(g *graph.Graph, k int) (side []int, found bool) {
+// search may stop before the true minimum is known). The context is
+// checked once per phase.
+func globalEdgeCutBelow(ctx context.Context, g *graph.Graph, k int) (side []int, found bool, err error) {
 	if g.NumVertices() <= 1 {
-		return nil, false
+		return nil, false, nil
 	}
 	sw := newContracted(g)
 	for sw.size() > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
 		t, cutWeight := sw.phase()
 		if cutWeight < k {
-			return t, true
+			return t, true, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // contracted is the weighted multigraph state of Stoer–Wagner. Supernodes
@@ -228,30 +274,4 @@ func (h *maxHeap) Pop() interface{} {
 	item := old[n-1]
 	*h = old[:n-1]
 	return item
-}
-
-func sortBySize(comps []*graph.Graph) {
-	// Largest first; ties by smallest label for determinism.
-	for i := 1; i < len(comps); i++ {
-		for j := i; j > 0 && less(comps[j], comps[j-1]); j-- {
-			comps[j], comps[j-1] = comps[j-1], comps[j]
-		}
-	}
-}
-
-func less(a, b *graph.Graph) bool {
-	if a.NumVertices() != b.NumVertices() {
-		return a.NumVertices() > b.NumVertices()
-	}
-	return minLabel(a) < minLabel(b)
-}
-
-func minLabel(g *graph.Graph) int64 {
-	min := int64(1<<63 - 1)
-	for _, l := range g.Labels() {
-		if l < min {
-			min = l
-		}
-	}
-	return min
 }

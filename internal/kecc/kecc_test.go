@@ -1,9 +1,12 @@
 package kecc
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
+	"time"
 
 	"kvcc/graph"
 	"kvcc/internal/verify"
@@ -229,6 +232,42 @@ func TestKECCsAreDisjoint(t *testing.T) {
 				t.Fatalf("vertex %d appears in two k-ECCs", l)
 			}
 			seen[l] = true
+		}
+	}
+}
+
+// TestEnumerateContextCancel checks the cancellation contract: a
+// cancelled context surfaces as ctx.Err() with partial results discarded,
+// both when cancelled up front and when cancelled mid-run from a Stoer–
+// Wagner progress check.
+func TestEnumerateContextCancel(t *testing.T) {
+	g := randomConnectedGraph(60, 0.2, rand.New(rand.NewSource(7)))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	comps, _, err := EnumerateContext(ctx, g, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled enumerate: err = %v, want context.Canceled", err)
+	}
+	if comps != nil {
+		t.Fatalf("pre-cancelled enumerate returned %d components, want none", len(comps))
+	}
+
+	// A deadline that expires mid-run must also surface: retry with ever
+	// larger budgets until one run finishes, checking every timed-out
+	// attempt reported the context error.
+	for budget := time.Microsecond; ; budget *= 4 {
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		comps, _, err := EnumerateContext(ctx, g, 3)
+		cancel()
+		if err == nil {
+			if len(comps) == 0 {
+				t.Fatal("completed run found no 3-ECCs in a dense random graph")
+			}
+			return
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("mid-run timeout: err = %v, want context.DeadlineExceeded", err)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"kvcc/cohesion"
 	"kvcc/graph"
 	"kvcc/hierarchy"
 	"kvcc/internal/core"
@@ -12,6 +13,25 @@ import (
 	"kvcc/internal/kcore"
 	"kvcc/internal/kecc"
 )
+
+// Measure selects the cohesion measure an enumeration or hierarchy build
+// runs under. The zero value is MeasureKVCC.
+type Measure = cohesion.Measure
+
+// Cohesion measures, weakest to strongest: every k-VCC lies in a k-ECC,
+// every k-ECC in a connected component of the k-core.
+const (
+	// MeasureKVCC enumerates k-vertex connected components (default).
+	MeasureKVCC = cohesion.KVCC
+	// MeasureKECC enumerates k-edge connected components.
+	MeasureKECC = cohesion.KECC
+	// MeasureKCore enumerates connected components of the k-core.
+	MeasureKCore = cohesion.KCore
+)
+
+// ParseMeasure maps a wire name ("kvcc", "kecc", "kcore"; empty = kvcc)
+// to a Measure.
+func ParseMeasure(name string) (Measure, error) { return cohesion.ParseMeasure(name) }
 
 // Algorithm selects one of the paper's four enumeration variants.
 type Algorithm = core.Algorithm
@@ -163,6 +183,34 @@ func EnumerateContext(ctx context.Context, g *graph.Graph, k int, opts ...Option
 	return enumerateWithStore(ctx, g, k, options, nil)
 }
 
+// EnumerateMeasure computes all level-k components of g under the given
+// cohesion measure. See EnumerateMeasureContext.
+func EnumerateMeasure(g *graph.Graph, k int, m Measure, opts ...Option) (*Result, error) {
+	return EnumerateMeasureContext(context.Background(), g, k, m, opts...)
+}
+
+// EnumerateMeasureContext is the measure-parametric enumeration entry
+// point: MeasureKVCC takes the exact same path as EnumerateContext
+// (including the per-component store that powers incremental updates),
+// while MeasureKECC and MeasureKCore run their engines under the shared
+// component contract — canonical ordering, ctx cancellation, Stats. The
+// non-k-VCC measures produce disjoint components, so the Result's overlap
+// matrix is diagonal and ComponentsContaining returns at most one index.
+func EnumerateMeasureContext(ctx context.Context, g *graph.Graph, k int, m Measure, opts ...Option) (*Result, error) {
+	if m == cohesion.KVCC {
+		return EnumerateContext(ctx, g, k, opts...)
+	}
+	options := core.Options{Algorithm: core.VCCEStar}
+	for _, opt := range opts {
+		opt(&options)
+	}
+	comps, stats, err := cohesion.EnumerateContext(ctx, g, k, m, options)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{K: k, Components: comps, Stats: *stats}, nil
+}
+
 // enumerateWithStore is the shared engine behind the cold and incremental
 // paths: a per-component run that reuses matching components of prev (nil
 // for cold) and assembles the flattened canonical Result.
@@ -188,11 +236,25 @@ func BuildHierarchy(g *graph.Graph, opts ...Option) (*hierarchy.Tree, error) {
 
 // BuildHierarchyContext is BuildHierarchy with cancellation.
 func BuildHierarchyContext(ctx context.Context, g *graph.Graph, opts ...Option) (*hierarchy.Tree, error) {
+	return BuildMeasureHierarchyContext(ctx, g, cohesion.KVCC, opts...)
+}
+
+// BuildMeasureHierarchy builds the hierarchy of g under the given
+// cohesion measure. See BuildMeasureHierarchyContext.
+func BuildMeasureHierarchy(g *graph.Graph, m Measure, opts ...Option) (*hierarchy.Tree, error) {
+	return BuildMeasureHierarchyContext(context.Background(), g, m, opts...)
+}
+
+// BuildMeasureHierarchyContext builds the measure-m hierarchy: the nested
+// incremental build applies to every measure because k-cores, k-ECCs and
+// k-VCCs all nest level-over-level.
+func BuildMeasureHierarchyContext(ctx context.Context, g *graph.Graph, m Measure, opts ...Option) (*hierarchy.Tree, error) {
 	options := core.Options{Algorithm: core.VCCEStar}
 	for _, opt := range opts {
 		opt(&options)
 	}
 	return hierarchy.BuildContext(ctx, g, hierarchy.Options{
+		Measure:     m,
 		Algorithm:   options.Algorithm,
 		Parallelism: options.Parallelism,
 		FlowEngine:  options.FlowEngine,

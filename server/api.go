@@ -14,15 +14,21 @@ import (
 // The wire types below are shared by the HTTP handlers and the Go Client,
 // so a round trip through JSON is lossless by construction.
 
-// EnumerateRequest asks for all k-VCCs of a named graph.
+// EnumerateRequest asks for all level-k components of a named graph under
+// one cohesion measure (k-VCCs by default).
 type EnumerateRequest struct {
 	// Graph names a graph loaded into the server.
 	Graph string `json:"graph"`
-	// K is the connectivity parameter (>= 2 for a meaningful k-VCC).
+	// K is the connectivity parameter (>= 2 for a meaningful component).
 	K int `json:"k"`
-	// Algorithm selects the enumeration variant: "basic" (VCCE), "ns"
-	// (VCCE-N), "gs" (VCCE-G) or "star" (VCCE*, the default when empty).
-	// The paper's own names are accepted too.
+	// Measure selects the cohesion measure: "kvcc" (the default when
+	// empty), "kecc" or "kcore". Every measure is served through the same
+	// index → cache → singleflight ladder.
+	Measure string `json:"measure,omitempty"`
+	// Algorithm selects the k-VCC enumeration variant: "basic" (VCCE),
+	// "ns" (VCCE-N), "gs" (VCCE-G) or "star" (VCCE*, the default when
+	// empty). The paper's own names are accepted too. Only valid with the
+	// kvcc measure — the other engines have no variants.
 	Algorithm string `json:"algorithm,omitempty"`
 	// TimeoutMillis bounds how long this request waits, overriding the
 	// server's default request timeout when positive. It does not cancel
@@ -49,9 +55,12 @@ type Component struct {
 // enumeration); otherwise Stats describes the enumeration that produced
 // the (possibly cached) result.
 type EnumerateResponse struct {
-	Graph       string            `json:"graph"`
-	K           int               `json:"k"`
-	Algorithm   string            `json:"algorithm"`
+	Graph string `json:"graph"`
+	K     int    `json:"k"`
+	// Measure is set for non-default measures only, so k-VCC responses
+	// are byte-identical to the pre-measure wire format.
+	Measure     string            `json:"measure,omitempty"`
+	Algorithm   string            `json:"algorithm,omitempty"`
 	Cached      bool              `json:"cached"`
 	Deduped     bool              `json:"deduped,omitempty"`
 	IndexServed bool              `json:"index_served,omitempty"`
@@ -61,10 +70,12 @@ type EnumerateResponse struct {
 	Metrics     *metrics.Averages `json:"avg_metrics,omitempty"`
 }
 
-// ContainingRequest asks which k-VCCs contain one vertex label.
+// ContainingRequest asks which level-k components contain one vertex
+// label (at most one for the disjoint kecc/kcore measures).
 type ContainingRequest struct {
 	Graph         string `json:"graph"`
 	K             int    `json:"k"`
+	Measure       string `json:"measure,omitempty"`
 	Algorithm     string `json:"algorithm,omitempty"`
 	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
 	// Vertex is the label of the vertex to look up (labels are the ids
@@ -79,7 +90,8 @@ type ContainingRequest struct {
 type ContainingResponse struct {
 	Graph       string      `json:"graph"`
 	K           int         `json:"k"`
-	Algorithm   string      `json:"algorithm"`
+	Measure     string      `json:"measure,omitempty"`
+	Algorithm   string      `json:"algorithm,omitempty"`
 	Cached      bool        `json:"cached"`
 	IndexServed bool        `json:"index_served,omitempty"`
 	Vertex      int64       `json:"vertex"`
@@ -87,10 +99,12 @@ type ContainingResponse struct {
 	Components  []Component `json:"components"`
 }
 
-// OverlapRequest asks for the pairwise overlap matrix of the k-VCCs.
+// OverlapRequest asks for the pairwise overlap matrix of the level-k
+// components (diagonal for the disjoint kecc/kcore measures).
 type OverlapRequest struct {
 	Graph         string `json:"graph"`
 	K             int    `json:"k"`
+	Measure       string `json:"measure,omitempty"`
 	Algorithm     string `json:"algorithm,omitempty"`
 	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
 }
@@ -102,7 +116,8 @@ type OverlapRequest struct {
 type OverlapResponse struct {
 	Graph       string  `json:"graph"`
 	K           int     `json:"k"`
-	Algorithm   string  `json:"algorithm"`
+	Measure     string  `json:"measure,omitempty"`
+	Algorithm   string  `json:"algorithm,omitempty"`
 	Cached      bool    `json:"cached"`
 	IndexServed bool    `json:"index_served,omitempty"`
 	Matrix      [][]int `json:"matrix"`
@@ -112,7 +127,10 @@ type OverlapResponse struct {
 // hierarchy. The request blocks (within its timeout) until the graph's
 // index build finishes, starting one on demand if necessary.
 type HierarchyRequest struct {
-	Graph         string `json:"graph"`
+	Graph string `json:"graph"`
+	// Measure selects which cohesion hierarchy to summarize ("kvcc" when
+	// empty).
+	Measure       string `json:"measure,omitempty"`
 	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
 	// IncludeComponents adds the full vertex sets of every level to the
 	// response. Off by default: a deep hierarchy repeats most of the graph
@@ -132,7 +150,8 @@ type HierarchyLevel struct {
 
 // HierarchyResponse summarizes a finished hierarchy index.
 type HierarchyResponse struct {
-	Graph string `json:"graph"`
+	Graph   string `json:"graph"`
+	Measure string `json:"measure,omitempty"`
 	// MaxK is the deepest level with at least one component.
 	MaxK int `json:"max_k"`
 	// Size is the total number of components across all levels.
@@ -149,7 +168,11 @@ type HierarchyResponse struct {
 // CohesionRequest asks for the structural cohesion of up to 1024 vertex
 // labels: the deepest k at which some k-VCC contains each vertex.
 type CohesionRequest struct {
-	Graph         string  `json:"graph"`
+	Graph string `json:"graph"`
+	// Measure selects which hierarchy answers ("kvcc" when empty): the
+	// kcore measure reports core numbers, kecc per-vertex λ, kvcc
+	// per-vertex κ (structural cohesion).
+	Measure       string  `json:"measure,omitempty"`
 	Vertices      []int64 `json:"vertices"`
 	TimeoutMillis int64   `json:"timeout_ms,omitempty"`
 }
@@ -173,6 +196,7 @@ type VertexCohesion struct {
 // CohesionResponse lists per-vertex cohesion results in request order.
 type CohesionResponse struct {
 	Graph   string           `json:"graph"`
+	Measure string           `json:"measure,omitempty"`
 	Results []VertexCohesion `json:"results"`
 }
 
@@ -181,6 +205,7 @@ type CohesionResponse struct {
 type BatchEnumerateRequest struct {
 	Graph          string `json:"graph"`
 	Ks             []int  `json:"ks"`
+	Measure        string `json:"measure,omitempty"`
 	Algorithm      string `json:"algorithm,omitempty"`
 	TimeoutMillis  int64  `json:"timeout_ms,omitempty"`
 	IncludeMetrics bool   `json:"include_metrics,omitempty"`
@@ -190,13 +215,17 @@ type BatchEnumerateRequest struct {
 // in request order.
 type BatchEnumerateResponse struct {
 	Graph     string              `json:"graph"`
-	Algorithm string              `json:"algorithm"`
+	Measure   string              `json:"measure,omitempty"`
+	Algorithm string              `json:"algorithm,omitempty"`
 	Results   []EnumerateResponse `json:"results"`
 }
 
 // IndexInfo describes the state of one graph's hierarchy index build.
 type IndexInfo struct {
 	Graph string `json:"graph"`
+	// Measure names the cohesion measure the index covers; absent for the
+	// default kvcc measure.
+	Measure string `json:"measure,omitempty"`
 	// State is "building", "ready" or "failed".
 	State string `json:"state"`
 	// MaxK is the configured build cap (0 = full depth).
@@ -239,17 +268,17 @@ type EditsRequest struct {
 // the next incremental enumeration), and the hierarchy index repair was
 // scheduled, dropped, or not needed.
 type EditsResponse struct {
-	Graph            string  `json:"graph"`
-	Version          uint64  `json:"version"`
-	Vertices         int     `json:"vertices"`
-	Edges            int     `json:"edges"`
-	AppliedInserts   int     `json:"applied_inserts"`
-	AppliedDeletes   int     `json:"applied_deletes"`
-	NoopEdits        int     `json:"noop_edits,omitempty"`
-	AffectedMaxK     int     `json:"affected_max_k"`
-	CacheKept        int     `json:"cache_kept"`
-	CacheInvalidated int     `json:"cache_invalidated"`
-	IndexRepair      string  `json:"index_repair"`
+	Graph            string `json:"graph"`
+	Version          uint64 `json:"version"`
+	Vertices         int    `json:"vertices"`
+	Edges            int    `json:"edges"`
+	AppliedInserts   int    `json:"applied_inserts"`
+	AppliedDeletes   int    `json:"applied_deletes"`
+	NoopEdits        int    `json:"noop_edits,omitempty"`
+	AffectedMaxK     int    `json:"affected_max_k"`
+	CacheKept        int    `json:"cache_kept"`
+	CacheInvalidated int    `json:"cache_invalidated"`
+	IndexRepair      string `json:"index_repair"`
 	// Persisted reports that the batch was fsync'd to the graph's
 	// write-ahead log before this response was built, i.e. it survives a
 	// crash. Absent when the server runs without a data directory (or the
@@ -319,6 +348,22 @@ type EnumStats struct {
 	// enumerations (cache hits excluded; they are served in microseconds).
 	TotalMS float64 `json:"total_ms"`
 	MaxMS   float64 `json:"max_ms"`
+	// Profiles counts graph-profile requests served.
+	Profiles int64 `json:"profiles,omitempty"`
+	// Measures splits the serving-ladder traffic by cohesion measure, so
+	// the kvcc/kecc/kcore mix is observable. Only measures with traffic
+	// appear.
+	Measures map[string]MeasureCounters `json:"measures,omitempty"`
+}
+
+// MeasureCounters is the per-measure slice of the serving-ladder traffic.
+type MeasureCounters struct {
+	// Enumerations counts flight-leader enumerations run for the measure.
+	Enumerations int64 `json:"enumerations"`
+	// CacheHits counts requests answered from the result cache.
+	CacheHits int64 `json:"cache_hits"`
+	// IndexServed counts requests answered from a ready hierarchy index.
+	IndexServed int64 `json:"index_served"`
 }
 
 // errorResponse is the uniform error body for non-2xx statuses.
@@ -341,6 +386,41 @@ func parseAlgorithm(name string) (kvcc.Algorithm, error) {
 		return kvcc.VCCEG, nil
 	}
 	return 0, fmt.Errorf("unknown algorithm %q (want basic | ns | gs | star)", name)
+}
+
+// parseMeasure wraps cohesion's measure parsing in the server's
+// bad-request error, and rejects the algorithm field for measures that
+// have no variants (accepting it would silently ignore a parameter the
+// client believes is honored).
+func parseMeasure(measure, algorithm string) (kvcc.Measure, error) {
+	m, err := kvcc.ParseMeasure(measure)
+	if err != nil {
+		return m, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if m != kvcc.MeasureKVCC && algorithm != "" {
+		return m, fmt.Errorf("%w: algorithm %q applies only to the kvcc measure", ErrBadRequest, algorithm)
+	}
+	return m, nil
+}
+
+// wireMeasure renders a measure for a response: non-default measures by
+// name, kvcc as the empty string so default responses stay byte-identical
+// to the pre-measure wire format.
+func wireMeasure(m kvcc.Measure) string {
+	if m == kvcc.MeasureKVCC {
+		return ""
+	}
+	return m.String()
+}
+
+// wireAlgorithm renders the algorithm for a response: the kvcc measure
+// names the variant that ran (never empty), every other measure has no
+// variants and omits the field.
+func wireAlgorithm(m kvcc.Measure, algo kvcc.Algorithm) string {
+	if m != kvcc.MeasureKVCC {
+		return ""
+	}
+	return algo.String()
 }
 
 // ParseFlowEngine maps engine names onto the flow engines, mirroring

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"kvcc/cohesion"
 	"kvcc/gen"
 	"kvcc/graph"
 )
@@ -72,7 +73,7 @@ func BenchmarkAnyKCold(b *testing.B) {
 	g := benchGraph()
 	s.AddGraph("bench", g)
 	ctx := context.Background()
-	tree, err := s.indexFor(ctx, "bench") // depth probe only; the server stays index-less
+	tree, err := s.indexFor(ctx, "bench", cohesion.KVCC) // depth probe only; the server stays index-less
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -112,6 +113,100 @@ func BenchmarkEnumerateCached(b *testing.B) {
 		}
 		if !resp.Cached {
 			b.Fatal("iteration missed the cache")
+		}
+	}
+}
+
+// BenchmarkProfileGraphLevel measures the cold graph-level profile (core
+// decomposition + component BFS + triangle pass) by invalidating the
+// per-generation cache every iteration.
+func BenchmarkProfileGraphLevel(b *testing.B) {
+	s := New(Config{})
+	s.AddGraph("bench", benchGraph())
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s.dropProfile("bench")
+		b.StartTimer()
+		resp, err := s.Profile(ctx, ProfileRequest{Graph: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Cached {
+			b.Fatal("iteration hit the profile cache")
+		}
+	}
+}
+
+// BenchmarkProfileCached measures the served profile path: cache lookup
+// plus response assembly.
+func BenchmarkProfileCached(b *testing.B) {
+	s := New(Config{})
+	s.AddGraph("bench", benchGraph())
+	ctx := context.Background()
+	if _, err := s.Profile(ctx, ProfileRequest{Graph: "bench"}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Profile(ctx, ProfileRequest{Graph: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("iteration missed the profile cache")
+		}
+	}
+}
+
+// BenchmarkMeasureEnumerateCold times the uncached serving path of the
+// two non-default measures on the same workload as BenchmarkEnumerateCold,
+// making the relative cost of the three engines visible in one run.
+func BenchmarkMeasureEnumerateCold(b *testing.B) {
+	g := benchGraph()
+	ctx := context.Background()
+	for _, measure := range []string{"kecc", "kcore"} {
+		b.Run(measure, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := New(Config{})
+				s.AddGraph("bench", g)
+				b.StartTimer()
+				if _, err := s.Enumerate(ctx, EnumerateRequest{Graph: "bench", K: 5, Measure: measure}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMeasureIndexServed is BenchmarkAnyKIndexServed for the kecc
+// index: rotating k served from the eagerly built per-measure index.
+func BenchmarkMeasureIndexServed(b *testing.B) {
+	s := New(Config{BuildIndex: true, IndexMeasures: []string{"kecc"}})
+	s.AddGraph("bench", benchGraph())
+	ctx := context.Background()
+	hier, err := s.Hierarchy(ctx, HierarchyRequest{Graph: "bench", Measure: "kecc"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if hier.MaxK < 3 {
+		b.Fatalf("bench graph too shallow: max k = %d", hier.MaxK)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := 2 + i%hier.MaxK
+		resp, err := s.Enumerate(ctx, EnumerateRequest{Graph: "bench", K: k, Measure: "kecc"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.IndexServed {
+			b.Fatalf("k=%d missed the kecc index", k)
 		}
 	}
 }

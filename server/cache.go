@@ -5,20 +5,24 @@ import (
 	"sync"
 
 	"kvcc"
+	"kvcc/cohesion"
 )
 
 // cacheKey identifies one enumeration: a named graph at a specific
-// registration generation, the connectivity parameter, and the algorithm
-// variant. Two requests with the same key are guaranteed the same result
-// because every loaded graph is immutable and all four variants are exact
-// (they differ only in pruning). The generation ties the key to one
-// AddGraph call, so an enumeration still in flight when its graph is
-// replaced can never serve (or cache) results under the new graph's name.
+// registration generation, the cohesion measure, the connectivity
+// parameter, and the algorithm variant. Two requests with the same key are
+// guaranteed the same result because every loaded graph is immutable and
+// all four variants are exact (they differ only in pruning). The
+// generation ties the key to one AddGraph call, so an enumeration still in
+// flight when its graph is replaced can never serve (or cache) results
+// under the new graph's name. The measure's zero value is cohesion.KVCC,
+// so every key minted before the measure field existed keeps its identity.
 type cacheKey struct {
-	graph string
-	gen   uint64
-	k     int
-	algo  kvcc.Algorithm
+	graph   string
+	gen     uint64
+	measure cohesion.Measure
+	k       int
+	algo    kvcc.Algorithm
 }
 
 // resultCache is a thread-safe LRU cache of enumeration results. Entries

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 )
 
@@ -94,6 +96,35 @@ func (c *Client) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 	}
 	var resp EditsResponse
 	if err := c.post(ctx, GraphEditsPath(req.Graph), req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Profile fetches a graph's structural profile (degeneracy, core
+// histogram, degree/component distributions, recommended k range), with
+// the per-vertex (core, λ, κ) triples when req.Vertices is non-empty.
+func (c *Client) Profile(ctx context.Context, req ProfileRequest) (*ProfileResponse, error) {
+	if req.Graph == "" {
+		return nil, fmt.Errorf("server: profile request needs a graph name")
+	}
+	path := GraphProfilePath(req.Graph)
+	q := url.Values{}
+	if len(req.Vertices) > 0 {
+		parts := make([]string, len(req.Vertices))
+		for i, v := range req.Vertices {
+			parts[i] = strconv.FormatInt(v, 10)
+		}
+		q.Set("vertices", strings.Join(parts, ","))
+	}
+	if req.TimeoutMillis > 0 {
+		q.Set("timeout_ms", strconv.FormatInt(req.TimeoutMillis, 10))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var resp ProfileResponse
+	if err := c.get(ctx, path, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

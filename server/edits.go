@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"kvcc"
 	"kvcc/graph"
 	"kvcc/internal/kcore"
 	"kvcc/store"
@@ -151,6 +152,11 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 	// the next (incremental) enumeration at their k.
 	kept, dropped := s.cache.migrate(req.Graph, entry.gen, newEntry.gen, aff.affected)
 	for _, d := range dropped {
+		// Only kvcc results can seed the incremental path; dropped entries
+		// of the other measures are simply recomputed from scratch.
+		if d.key.measure != kvcc.MeasureKVCC {
+			continue
+		}
 		s.putSeed(prevKey{graph: d.key.graph, k: d.key.k, algo: d.key.algo}, d.res)
 	}
 

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
+	"strings"
 )
 
 // API routes served by Handler. The Client uses the same constants.
@@ -34,6 +36,12 @@ func GraphPath(name string) string {
 	return PathGraphs + "/" + url.PathEscape(name)
 }
 
+// GraphProfilePath returns the profile endpoint for one named graph:
+// GET /api/v1/graphs/{name}/profile.
+func GraphProfilePath(name string) string {
+	return PathGraphs + "/" + url.PathEscape(name) + "/profile"
+}
+
 // Handler returns the HTTP API of the server:
 //
 //	POST /api/v1/enumerate              EnumerateRequest       -> EnumerateResponse
@@ -43,6 +51,7 @@ func GraphPath(name string) string {
 //	POST /api/v1/hierarchy              HierarchyRequest       -> HierarchyResponse
 //	POST /api/v1/cohesion               CohesionRequest        -> CohesionResponse
 //	POST   /api/v1/graphs/{name}/edits  EditsRequest           -> EditsResponse
+//	GET    /api/v1/graphs/{name}/profile?vertices=a,b&timeout_ms=n -> ProfileResponse
 //	DELETE /api/v1/graphs/{name}        -> RemoveGraphResponse
 //	GET  /api/v1/stats                  -> StatsResponse
 //	GET  /api/v1/graphs                 -> []GraphInfo
@@ -123,6 +132,29 @@ func (s *Server) Handler() http.Handler {
 		resp, err := s.Edits(r.Context(), req)
 		respond(w, resp, err)
 	})
+	mux.HandleFunc("GET "+PathGraphs+"/{name}/profile", func(w http.ResponseWriter, r *http.Request) {
+		req := ProfileRequest{Graph: r.PathValue("name")}
+		q := r.URL.Query()
+		if raw := q.Get("vertices"); raw != "" {
+			vs, err := parseVertexList(raw)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			req.Vertices = vs
+		}
+		if raw := q.Get("timeout_ms"); raw != "" {
+			ms, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil || ms < 0 {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("invalid timeout_ms %q", raw))
+				return
+			}
+			req.TimeoutMillis = ms
+		}
+		resp, err := s.Profile(r.Context(), req)
+		respond(w, resp, err)
+	})
 	mux.HandleFunc("DELETE "+PathGraphs+"/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		if !s.RemoveGraph(name) {
@@ -152,6 +184,21 @@ const (
 	maxRequestBytes      = 1 << 20
 	maxEditsRequestBytes = 64*maxEditBatch + maxRequestBytes
 )
+
+// parseVertexList parses the comma-separated vertex labels of the profile
+// endpoint's "vertices" query parameter.
+func parseVertexList(raw string) ([]int64, error) {
+	parts := strings.Split(raw, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid vertex %q in vertices list", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any, limit int64) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))

@@ -8,20 +8,30 @@ import (
 	"time"
 
 	"kvcc"
+	"kvcc/cohesion"
 	"kvcc/hierarchy"
 )
 
-// graphIndex is one hierarchy-index build for one (graph, generation)
-// pair. The build runs in a background goroutine; ready is closed when it
-// finishes, after which tree/err/buildMS are immutable. A replaced graph
-// cancels its index build via cancel, so a stale build can never serve
-// queries: lookups always match the generation first.
+// indexKey addresses one hierarchy index: every registered graph can hold
+// one tree per cohesion measure, built independently. The zero measure is
+// kvcc, so single-measure deployments key exactly as they always did.
+type indexKey struct {
+	graph   string
+	measure cohesion.Measure
+}
+
+// graphIndex is one hierarchy-index build for one (graph, measure,
+// generation) triple. The build runs in a background goroutine; ready is
+// closed when it finishes, after which tree/err/buildMS are immutable. A
+// replaced graph cancels its index builds via cancel, so a stale build
+// can never serve queries: lookups always match the generation first.
 type graphIndex struct {
-	graph  string
-	gen    uint64
-	maxK   int // Options.MaxK the build uses (0 = full depth)
-	ready  chan struct{}
-	cancel context.CancelFunc
+	graph   string
+	measure cohesion.Measure
+	gen     uint64
+	maxK    int // Options.MaxK the build uses (0 = full depth)
+	ready   chan struct{}
+	cancel  context.CancelFunc
 
 	// Written once before ready is closed.
 	tree    *hierarchy.Tree
@@ -63,70 +73,83 @@ func (ix *graphIndex) done() bool {
 	}
 }
 
-// invalidateIndex unconditionally cancels and drops the index for name.
+// invalidateIndex unconditionally cancels and drops every measure's index
+// for name.
 func (s *Server) invalidateIndex(name string) {
 	s.indexMu.Lock()
-	ix := s.indexes[name]
-	delete(s.indexes, name)
+	var ixs []*graphIndex
+	for key, ix := range s.indexes {
+		if key.graph == name {
+			ixs = append(ixs, ix)
+			delete(s.indexes, key)
+		}
+	}
 	s.indexMu.Unlock()
-	if ix != nil {
+	for _, ix := range ixs {
 		ix.cancel()
 	}
 }
 
-// retireIndex drops the index for name only if it belongs to a
+// retireIndex drops the indexes for name (all measures) that belong to a
 // generation older than gen. The generation guard makes concurrent
 // AddGraph calls commute: the call that lost the registry race (its
-// generation is older) can neither cancel the winner's build nor
-// install its own over it (see resetIndex).
+// generation is older) can neither cancel the winner's builds nor
+// install its own over them (see resetIndex).
 func (s *Server) retireIndex(name string, gen uint64) {
 	s.indexMu.Lock()
-	ix := s.indexes[name]
-	if ix != nil && ix.gen < gen {
-		delete(s.indexes, name)
-	} else {
-		ix = nil
+	var ixs []*graphIndex
+	for key, ix := range s.indexes {
+		if key.graph == name && ix.gen < gen {
+			ixs = append(ixs, ix)
+			delete(s.indexes, key)
+		}
 	}
 	s.indexMu.Unlock()
-	if ix != nil {
+	for _, ix := range ixs {
 		ix.cancel()
 	}
 }
 
-// resetIndex retires any older-generation build and starts one for e
-// unless a build of e's generation or newer is already installed.
+// resetIndex retires any older-generation builds and starts one per
+// configured index measure for e, unless a build of e's generation or
+// newer is already installed for that measure.
 func (s *Server) resetIndex(name string, e graphEntry) {
 	s.retireIndex(name, e.gen)
 	s.indexMu.Lock()
-	if cur := s.indexes[name]; cur == nil || cur.gen < e.gen {
-		s.startIndexBuildLocked(name, e)
+	for _, m := range s.indexMeasures {
+		if cur := s.indexes[indexKey{graph: name, measure: m}]; cur == nil || cur.gen < e.gen {
+			s.startIndexBuildLocked(name, e, m)
+		}
 	}
 	s.indexMu.Unlock()
 }
 
-// startIndexBuildLocked launches the background hierarchy build for one
-// graph entry and installs it in the index table, cancelling any build it
-// displaces (once evicted from the table a build is unreachable by
-// retireIndex, so this is its only cancellation point). Callers hold
-// indexMu.
-func (s *Server) startIndexBuildLocked(name string, e graphEntry) *graphIndex {
-	if old := s.indexes[name]; old != nil {
+// startIndexBuildLocked launches the background hierarchy build of one
+// measure for one graph entry and installs it in the index table,
+// cancelling any build it displaces (once evicted from the table a build
+// is unreachable by retireIndex, so this is its only cancellation point).
+// Callers hold indexMu.
+func (s *Server) startIndexBuildLocked(name string, e graphEntry, m cohesion.Measure) *graphIndex {
+	key := indexKey{graph: name, measure: m}
+	if old := s.indexes[key]; old != nil {
 		old.cancel()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.IndexBuildTimeout)
 	ix := &graphIndex{
-		graph:  name,
-		gen:    e.gen,
-		maxK:   s.cfg.IndexMaxK,
-		ready:  make(chan struct{}),
-		cancel: cancel,
+		graph:   name,
+		measure: m,
+		gen:     e.gen,
+		maxK:    s.cfg.IndexMaxK,
+		ready:   make(chan struct{}),
+		cancel:  cancel,
 	}
-	s.indexes[name] = ix
+	s.indexes[key] = ix
 	go func() {
 		defer cancel()
 		begin := time.Now()
 		tree, err := hierarchy.BuildContext(ctx, e.g, hierarchy.Options{
 			MaxK:        ix.maxK,
+			Measure:     m,
 			Parallelism: s.cfg.Parallelism,
 			FlowEngine:  s.engine, // kvcc.FlowEngine aliases core.FlowEngine
 			Seed:        s.cfg.Seed,
@@ -143,12 +166,14 @@ func (s *Server) startIndexBuildLocked(name string, e graphEntry) *graphIndex {
 }
 
 // installReadyIndex registers an already-finished tree (loaded from a
-// graph's durable store at recovery) as the graph's index: a graphIndex
-// born ready, with nothing to cancel. The usual generation guard applies,
-// so a racing build for a newer generation is never displaced.
+// graph's durable store at recovery) as the graph's index for the tree's
+// measure: a graphIndex born ready, with nothing to cancel. The usual
+// generation guard applies, so a racing build for a newer generation is
+// never displaced.
 func (s *Server) installReadyIndex(name string, e graphEntry, tree *hierarchy.Tree, buildMS float64) {
 	ix := &graphIndex{
 		graph:   name,
+		measure: tree.Measure,
 		gen:     e.gen,
 		maxK:    s.cfg.IndexMaxK,
 		ready:   make(chan struct{}),
@@ -157,23 +182,25 @@ func (s *Server) installReadyIndex(name string, e graphEntry, tree *hierarchy.Tr
 		buildMS: buildMS,
 	}
 	close(ix.ready)
+	key := indexKey{graph: name, measure: tree.Measure}
 	s.indexMu.Lock()
-	if cur := s.indexes[name]; cur == nil || cur.gen < e.gen {
+	if cur := s.indexes[key]; cur == nil || cur.gen < e.gen {
 		if cur != nil {
 			cur.cancel()
 		}
-		s.indexes[name] = ix
+		s.indexes[key] = ix
 	}
 	s.indexMu.Unlock()
 }
 
-// readyIndex returns the finished index build for (name, gen), or nil
-// when no matching build has completed successfully. Non-blocking: the
-// enumerate fast path uses it to opportunistically serve from the index
-// while a build in progress falls back to the cache/singleflight path.
-func (s *Server) readyIndex(name string, gen uint64) *graphIndex {
+// readyIndex returns the finished index build for (name, gen, measure),
+// or nil when no matching build has completed successfully. Non-blocking:
+// the enumerate fast path uses it to opportunistically serve from the
+// index while a build in progress falls back to the cache/singleflight
+// path.
+func (s *Server) readyIndex(name string, gen uint64, m cohesion.Measure) *graphIndex {
 	s.indexMu.Lock()
-	ix := s.indexes[name]
+	ix := s.indexes[indexKey{graph: name, measure: m}]
 	s.indexMu.Unlock()
 	if ix == nil || ix.gen != gen || !ix.done() || ix.err != nil {
 		return nil
@@ -189,15 +216,15 @@ func (s *Server) readyIndex(name string, gen uint64) *graphIndex {
 // cached: the next request starts a fresh build rather than replaying the
 // stale failure forever. An index of a newer generation than this
 // caller's lookup is used as-is — newer is the current graph.
-func (s *Server) indexFor(ctx context.Context, name string) (*graphIndex, error) {
+func (s *Server) indexFor(ctx context.Context, name string, m cohesion.Measure) (*graphIndex, error) {
 	entry, err := s.lookup(name)
 	if err != nil {
 		return nil, err
 	}
 	s.indexMu.Lock()
-	ix := s.indexes[name]
+	ix := s.indexes[indexKey{graph: name, measure: m}]
 	if ix == nil || ix.gen < entry.gen || (ix.gen == entry.gen && ix.done() && ix.err != nil) {
-		ix = s.startIndexBuildLocked(name, entry)
+		ix = s.startIndexBuildLocked(name, entry, m)
 	}
 	s.indexMu.Unlock()
 	select {
@@ -231,15 +258,20 @@ func resultFromIndex(tree *hierarchy.Tree, k int) *kvcc.Result {
 // graph's full cohesion tree, building the index on demand when it is not
 // already (being) built.
 func (s *Server) Hierarchy(ctx context.Context, req HierarchyRequest) (*HierarchyResponse, error) {
+	m, err := parseMeasure(req.Measure, "")
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
 	defer cancel()
-	ix, err := s.indexFor(ctx, req.Graph)
+	ix, err := s.indexFor(ctx, req.Graph, m)
 	if err != nil {
 		return nil, err
 	}
 	tree := ix.tree
 	resp := &HierarchyResponse{
 		Graph:    req.Graph,
+		Measure:  wireMeasure(m),
 		MaxK:     tree.MaxK,
 		Size:     tree.Size(),
 		Complete: tree.Covers(tree.MaxK + 1),
@@ -272,13 +304,17 @@ func (s *Server) Cohesion(ctx context.Context, req CohesionRequest) (*CohesionRe
 		return nil, fmt.Errorf("%w: at most %d vertices per cohesion request, got %d",
 			ErrBadRequest, maxCohesionVertices, len(req.Vertices))
 	}
-	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
-	defer cancel()
-	ix, err := s.indexFor(ctx, req.Graph)
+	m, err := parseMeasure(req.Measure, "")
 	if err != nil {
 		return nil, err
 	}
-	resp := &CohesionResponse{Graph: req.Graph}
+	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	defer cancel()
+	ix, err := s.indexFor(ctx, req.Graph, m)
+	if err != nil {
+		return nil, err
+	}
+	resp := &CohesionResponse{Graph: req.Graph, Measure: wireMeasure(m)}
 	for _, v := range req.Vertices {
 		vc := VertexCohesion{Vertex: v, Cohesion: ix.tree.Cohesion(v)}
 		for _, n := range ix.tree.Path(v) {
@@ -302,6 +338,10 @@ func (s *Server) EnumerateBatch(ctx context.Context, req BatchEnumerateRequest) 
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	m, err := parseMeasure(req.Measure, req.Algorithm)
+	if err != nil {
+		return nil, err
+	}
 	if len(req.Ks) == 0 {
 		return nil, fmt.Errorf("%w: batch request needs at least one k", ErrBadRequest)
 	}
@@ -312,15 +352,19 @@ func (s *Server) EnumerateBatch(ctx context.Context, req BatchEnumerateRequest) 
 	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
 	defer cancel()
 
-	resp := &BatchEnumerateResponse{Graph: req.Graph, Algorithm: algo.String()}
+	resp := &BatchEnumerateResponse{
+		Graph:     req.Graph,
+		Measure:   wireMeasure(m),
+		Algorithm: wireAlgorithm(m, algo),
+	}
 	for _, k := range req.Ks {
 		begin := time.Now()
-		res, src, err := s.result(ctx, req.Graph, k, algo)
+		res, src, err := s.result(ctx, req.Graph, k, m, algo)
 		if err != nil {
 			return nil, fmt.Errorf("k=%d: %w", k, err)
 		}
 		resp.Results = append(resp.Results,
-			buildEnumerateResponse(req.Graph, k, algo, res, src, begin, req.IncludeMetrics))
+			buildEnumerateResponse(req.Graph, k, m, algo, res, src, begin, req.IncludeMetrics))
 	}
 	return resp, nil
 }
@@ -336,8 +380,8 @@ func (s *Server) indexInfos() []IndexInfo {
 	s.indexMu.Lock()
 	defer s.indexMu.Unlock()
 	out := make([]IndexInfo, 0, len(s.indexes))
-	for name, ix := range s.indexes {
-		info := IndexInfo{Graph: name, MaxK: ix.maxK}
+	for key, ix := range s.indexes {
+		info := IndexInfo{Graph: key.graph, Measure: wireMeasure(key.measure), MaxK: ix.maxK}
 		switch {
 		case !ix.done():
 			info.State = "building"
@@ -352,6 +396,11 @@ func (s *Server) indexInfos() []IndexInfo {
 		}
 		out = append(out, info)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Graph < out[j].Graph })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Graph != out[j].Graph {
+			return out[i].Graph < out[j].Graph
+		}
+		return out[i].Measure < out[j].Measure
+	})
 	return out
 }

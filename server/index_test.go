@@ -249,7 +249,7 @@ func TestFailedIndexBuildRetries(t *testing.T) {
 	}
 	close(failed.ready)
 	s.indexMu.Lock()
-	s.indexes["g"] = failed
+	s.indexes[indexKey{graph: "g"}] = failed
 	s.indexMu.Unlock()
 
 	hier := waitForIndex(t, s, "g") // must retry, not replay the stale failure

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"kvcc/cohesion"
 	"kvcc/graph"
 	"kvcc/store"
 )
@@ -100,7 +101,7 @@ func (s *Server) Close() error {
 	for _, ix := range s.indexes {
 		ixs = append(ixs, ix)
 	}
-	s.indexes = make(map[string]*graphIndex)
+	s.indexes = make(map[indexKey]*graphIndex)
 	s.indexMu.Unlock()
 	for _, ix := range ixs {
 		ix.cancel()
@@ -230,20 +231,26 @@ func (s *Server) dropStore(name string) {
 	}
 }
 
-// recoverIndex installs a persisted hierarchy index for a just-recovered
-// graph when one exists, matches the recovered version exactly, and was
-// built with the same depth cap the server would use now; otherwise it
-// falls back to the configured background build.
+// recoverIndex installs the persisted hierarchy indexes (one per measure)
+// for a just-recovered graph, for each measure whose file exists, matches
+// the recovered version exactly, and was built with the same depth cap
+// the server would use now. Measures the disk could not supply fall back
+// to the configured background build via resetIndex, which skips the
+// measures already installed at this generation.
 func (s *Server) recoverIndex(name string, e graphEntry, st *store.Store) {
-	tree, buildMS, ok, err := st.LoadIndex()
-	if err != nil {
-		s.notePersistError("index load for "+name, err)
-	} else if ok && tree.BuiltMaxK == s.cfg.IndexMaxK {
+	for _, m := range cohesion.Measures() {
+		tree, buildMS, ok, err := st.LoadIndex(m)
+		if err != nil {
+			s.notePersistError("index load for "+name, err)
+			continue
+		}
+		if !ok || tree.BuiltMaxK != s.cfg.IndexMaxK {
+			continue
+		}
 		s.installReadyIndex(name, e, tree, buildMS)
 		s.storeMu.Lock()
 		s.persist.IndexLoads++
 		s.storeMu.Unlock()
-		return
 	}
 	if s.cfg.BuildIndex {
 		s.resetIndex(name, e)

@@ -3,7 +3,7 @@
 // versioned graphs (each an immutable snapshot fronted by a mutation
 // overlay), a per-graph hierarchy index (the full k-VCC cohesion tree,
 // built in the background), an LRU cache of enumeration results keyed by
-// (graph, generation, k, algorithm), and a singleflight layer that
+// (graph, generation, measure, k, algorithm), and a singleflight layer that
 // collapses concurrent identical requests into one computation. On top of
 // that it exposes an HTTP/JSON API (see Handler) with per-request
 // timeouts; the Client type in this package speaks the same wire format.
@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"kvcc"
+	"kvcc/cohesion"
 	"kvcc/graph"
 	"kvcc/graphio"
 	"kvcc/store"
@@ -86,6 +87,13 @@ type Config struct {
 	// hierarchy until a level is empty). A truncated index serves only
 	// k <= IndexMaxK; deeper queries fall back to direct enumeration.
 	IndexMaxK int
+	// IndexMeasures names the cohesion measures BuildIndex builds eagerly
+	// for every registered graph ("kvcc", "kecc", "kcore"; default: kvcc
+	// only). Measures not listed are still indexed on demand by the
+	// hierarchy, cohesion and profile endpoints. Unknown names are
+	// ignored — validate up front with kvcc.ParseMeasure where an error
+	// is wanted (kvccd rejects bad names at startup).
+	IndexMeasures []string
 	// IndexBuildTimeout bounds one hierarchy-index build (default 10m).
 	// It is independent of ComputeTimeout because an index build covers
 	// every level, not one k.
@@ -142,6 +150,10 @@ type Server struct {
 	start  time.Time
 	engine kvcc.FlowEngine // parsed from cfg.FlowEngine at New
 
+	// indexMeasures is cfg.IndexMeasures parsed and deduplicated at New:
+	// the measures every eager (BuildIndex) and repair build covers.
+	indexMeasures []cohesion.Measure
+
 	mu      sync.Mutex
 	graphs  map[string]graphEntry
 	nextGen uint64
@@ -167,10 +179,16 @@ type Server struct {
 	seedOrder *list.List
 
 	indexMu sync.Mutex
-	indexes map[string]*graphIndex
+	indexes map[indexKey]*graphIndex
 
-	statsMu sync.Mutex
-	enum    EnumStats
+	statsMu      sync.Mutex
+	enum         EnumStats
+	measureStats map[cohesion.Measure]*MeasureCounters
+
+	// profileMu guards the per-graph cache of graph-level profiles (see
+	// profile.go); entries are validated against the graph generation.
+	profileMu sync.Mutex
+	profiles  map[string]*graphProfile
 
 	// storeMu guards the per-graph durability stores and the persistence
 	// counters (see persist.go). Nil-able independent of cfg: with no
@@ -274,18 +292,48 @@ func New(cfg Config) *Server {
 	if err != nil {
 		engine = kvcc.FlowAuto
 	}
-	return &Server{
-		cfg:       cfg,
-		cache:     newResultCache(cfg.CacheSize),
-		flight:    newFlightGroup(),
-		start:     time.Now(),
-		engine:    engine,
-		graphs:    make(map[string]graphEntry),
-		prev:      make(map[prevKey]*list.Element),
-		seedOrder: list.New(),
-		indexes:   make(map[string]*graphIndex),
-		stores:    make(map[string]*store.Store),
+	// Unknown measure names degrade by being skipped for the same reason
+	// unknown engines degrade to auto; an empty (or all-unknown) list
+	// selects the kvcc default, preserving pre-measure behavior exactly.
+	var measures []cohesion.Measure
+	seen := map[cohesion.Measure]bool{}
+	for _, name := range cfg.IndexMeasures {
+		m, err := kvcc.ParseMeasure(name)
+		if err != nil || seen[m] {
+			continue
+		}
+		seen[m] = true
+		measures = append(measures, m)
 	}
+	if len(measures) == 0 {
+		measures = []cohesion.Measure{cohesion.KVCC}
+	}
+	return &Server{
+		cfg:           cfg,
+		cache:         newResultCache(cfg.CacheSize),
+		flight:        newFlightGroup(),
+		start:         time.Now(),
+		engine:        engine,
+		indexMeasures: measures,
+		graphs:        make(map[string]graphEntry),
+		prev:          make(map[prevKey]*list.Element),
+		seedOrder:     list.New(),
+		indexes:       make(map[indexKey]*graphIndex),
+		measureStats:  make(map[cohesion.Measure]*MeasureCounters),
+		stores:        make(map[string]*store.Store),
+	}
+}
+
+// countMeasure ticks one per-measure serving-ladder counter.
+func (s *Server) countMeasure(m cohesion.Measure, tick func(*MeasureCounters)) {
+	s.statsMu.Lock()
+	c := s.measureStats[m]
+	if c == nil {
+		c = &MeasureCounters{}
+		s.measureStats[m] = c
+	}
+	tick(c)
+	s.statsMu.Unlock()
 }
 
 // AddGraph registers g under name, replacing any previous graph with that
@@ -347,6 +395,7 @@ func (s *Server) RemoveGraph(name string) bool {
 	s.cache.invalidateGraph(name)
 	s.dropSeeds(name)
 	s.invalidateIndex(name)
+	s.dropProfile(name)
 	s.dropStore(name)
 	return true
 }
@@ -430,12 +479,13 @@ const (
 )
 
 // result is the heart of the server: a serving ladder of hierarchy index,
-// cache lookup, then singleflight around the actual enumeration. The
-// index rung is sound because a finished hierarchy level holds exactly
-// the k-VCCs a direct enumeration returns, in the same canonical order,
-// for any algorithm variant (all four are exact); the generation check
+// cache lookup, then singleflight around the actual enumeration, shared
+// by every cohesion measure. The index rung is sound because a finished
+// hierarchy level holds exactly the measure's components a direct
+// enumeration returns, in the same canonical order, for any algorithm
+// variant (all four k-VCC variants are exact); the generation check
 // keeps a replaced graph's index from ever answering.
-func (s *Server) result(ctx context.Context, graphName string, k int, algo kvcc.Algorithm) (res *kvcc.Result, src resultSource, err error) {
+func (s *Server) result(ctx context.Context, graphName string, k int, m cohesion.Measure, algo kvcc.Algorithm) (res *kvcc.Result, src resultSource, err error) {
 	if k < 2 {
 		return nil, srcComputed, fmt.Errorf("%w: k must be >= 2, got %d", ErrBadRequest, k)
 	}
@@ -447,18 +497,20 @@ func (s *Server) result(ctx context.Context, graphName string, k int, algo kvcc.
 		return nil, srcComputed, err
 	}
 
-	if ix := s.readyIndex(graphName, entry.gen); ix != nil && ix.tree.Covers(k) {
+	if ix := s.readyIndex(graphName, entry.gen, m); ix != nil && ix.tree.Covers(k) {
 		s.statsMu.Lock()
 		s.enum.IndexServed++
 		s.statsMu.Unlock()
+		s.countMeasure(m, func(c *MeasureCounters) { c.IndexServed++ })
 		// The per-level Result is memoized on the index so its lazy label
 		// index (behind components-containing/overlap) builds once, not
 		// once per request.
 		return ix.levelResult(k), srcIndex, nil
 	}
 
-	key := cacheKey{graph: graphName, gen: entry.gen, k: k, algo: algo}
+	key := cacheKey{graph: graphName, gen: entry.gen, measure: m, k: k, algo: algo}
 	if res, ok := s.cache.get(key); ok {
+		s.countMeasure(m, func(c *MeasureCounters) { c.CacheHits++ })
 		return res, srcCache, nil
 	}
 
@@ -479,6 +531,7 @@ func (s *Server) result(ctx context.Context, graphName string, k int, algo kvcc.
 		return nil, srcComputed, err
 	}
 	if lateHit {
+		s.countMeasure(m, func(c *MeasureCounters) { c.CacheHits++ })
 		return res, srcCache, nil
 	}
 	if deduped {
@@ -499,18 +552,32 @@ func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 	s.statsMu.Lock()
 	s.enum.Started++
 	s.statsMu.Unlock()
+	s.countMeasure(key.measure, func(c *MeasureCounters) { c.Enumerations++ })
 
 	// Consume the incremental seed, if an edit batch left one: the
 	// enumeration then reuses every k-core component the edits did not
 	// touch. Seeds are one-shot — consumed on success below — so the
 	// retained Result's memory is bounded by what was cached at edit time.
+	// Seeds exist only for the kvcc measure (the incremental path is
+	// k-VCC-specific); the other measures always enumerate from scratch.
+	var seed *kvcc.Result
 	seedKey := prevKey{graph: key.graph, k: key.k, algo: key.algo}
-	seed := s.peekSeed(seedKey)
+	if key.measure == kvcc.MeasureKVCC {
+		seed = s.peekSeed(seedKey)
+	}
 
 	begin := time.Now()
-	res, err := kvcc.EnumerateIncrementalContext(ctx, g, key.k, seed,
-		kvcc.WithAlgorithm(key.algo), kvcc.WithParallelism(s.cfg.Parallelism),
-		kvcc.WithFlowEngine(s.engine), kvcc.WithSeed(s.cfg.Seed))
+	var res *kvcc.Result
+	var err error
+	if key.measure == kvcc.MeasureKVCC {
+		res, err = kvcc.EnumerateIncrementalContext(ctx, g, key.k, seed,
+			kvcc.WithAlgorithm(key.algo), kvcc.WithParallelism(s.cfg.Parallelism),
+			kvcc.WithFlowEngine(s.engine), kvcc.WithSeed(s.cfg.Seed))
+	} else {
+		res, err = kvcc.EnumerateMeasureContext(ctx, g, key.k, key.measure,
+			kvcc.WithParallelism(s.cfg.Parallelism),
+			kvcc.WithFlowEngine(s.engine), kvcc.WithSeed(s.cfg.Seed))
+	}
 	elapsed := time.Since(begin)
 
 	s.statsMu.Lock()
@@ -561,26 +628,31 @@ func (s *Server) Enumerate(ctx context.Context, req EnumerateRequest) (*Enumerat
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	m, err := parseMeasure(req.Measure, req.Algorithm)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
 	defer cancel()
 
 	begin := time.Now()
-	res, src, err := s.result(ctx, req.Graph, req.K, algo)
+	res, src, err := s.result(ctx, req.Graph, req.K, m, algo)
 	if err != nil {
 		return nil, err
 	}
-	resp := buildEnumerateResponse(req.Graph, req.K, algo, res, src, begin, req.IncludeMetrics)
+	resp := buildEnumerateResponse(req.Graph, req.K, m, algo, res, src, begin, req.IncludeMetrics)
 	return &resp, nil
 }
 
 // buildEnumerateResponse assembles the wire response for one (graph, k)
 // result; Enumerate and EnumerateBatch share it so the two endpoints can
 // never diverge field by field.
-func buildEnumerateResponse(graphName string, k int, algo kvcc.Algorithm, res *kvcc.Result, src resultSource, begin time.Time, includeMetrics bool) EnumerateResponse {
+func buildEnumerateResponse(graphName string, k int, m cohesion.Measure, algo kvcc.Algorithm, res *kvcc.Result, src resultSource, begin time.Time, includeMetrics bool) EnumerateResponse {
 	resp := EnumerateResponse{
 		Graph:       graphName,
 		K:           k,
-		Algorithm:   algo.String(),
+		Measure:     wireMeasure(m),
+		Algorithm:   wireAlgorithm(m, algo),
 		Cached:      src == srcCache,
 		Deduped:     src == srcDeduped,
 		IndexServed: src == srcIndex,
@@ -602,10 +674,14 @@ func (s *Server) ComponentsContaining(ctx context.Context, req ContainingRequest
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	m, err := parseMeasure(req.Measure, req.Algorithm)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
 	defer cancel()
 
-	res, src, err := s.result(ctx, req.Graph, req.K, algo)
+	res, src, err := s.result(ctx, req.Graph, req.K, m, algo)
 	if err != nil {
 		return nil, err
 	}
@@ -617,7 +693,8 @@ func (s *Server) ComponentsContaining(ctx context.Context, req ContainingRequest
 	return &ContainingResponse{
 		Graph:       req.Graph,
 		K:           req.K,
-		Algorithm:   algo.String(),
+		Measure:     wireMeasure(m),
+		Algorithm:   wireAlgorithm(m, algo),
 		Cached:      src == srcCache,
 		IndexServed: src == srcIndex,
 		Vertex:      req.Vertex,
@@ -633,17 +710,22 @@ func (s *Server) Overlap(ctx context.Context, req OverlapRequest) (*OverlapRespo
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	m, err := parseMeasure(req.Measure, req.Algorithm)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
 	defer cancel()
 
-	res, src, err := s.result(ctx, req.Graph, req.K, algo)
+	res, src, err := s.result(ctx, req.Graph, req.K, m, algo)
 	if err != nil {
 		return nil, err
 	}
 	return &OverlapResponse{
 		Graph:       req.Graph,
 		K:           req.K,
-		Algorithm:   algo.String(),
+		Measure:     wireMeasure(m),
+		Algorithm:   wireAlgorithm(m, algo),
 		Cached:      src == srcCache,
 		IndexServed: src == srcIndex,
 		Matrix:      res.OverlapMatrix(),
@@ -654,6 +736,14 @@ func (s *Server) Overlap(ctx context.Context, req OverlapRequest) (*OverlapRespo
 func (s *Server) Stats() *StatsResponse {
 	s.statsMu.Lock()
 	enum := s.enum
+	if len(s.measureStats) > 0 {
+		// Materialize a fresh map per call: the response may outlive this
+		// snapshot and must not alias the live counters.
+		enum.Measures = make(map[string]MeasureCounters, len(s.measureStats))
+		for m, c := range s.measureStats {
+			enum.Measures[m.String()] = *c
+		}
+	}
 	s.statsMu.Unlock()
 	enum.Deduped = s.flight.dedupedCount()
 	return &StatsResponse{

@@ -21,17 +21,21 @@ const (
 	snapshotMagic  = "KVCCSNP1"
 	indexMagic     = "KVCCIDX1"
 	formatVersion  = 1
-	snapshotHeader = 64 // bytes; keeps the payload 8-aligned for aliasing
+	snapshotHeader = 64         // bytes; keeps the payload 8-aligned for aliasing
 	walRecordMagic = 0x4b565741 // "KVWA"
 	walHeader      = 16         // magic u32 + payload len u32 + payload crc64
 )
 
-// File names inside one store directory.
+// File names inside one store directory. Each cohesion measure persists
+// its hierarchy index in its own file; "index.kvcc" predates the measure
+// abstraction, which is why the k-VCC index keeps that name.
 const (
-	snapshotName = "snapshot.kvcc"
-	walName      = "wal.log"
-	indexName    = "index.kvcc"
-	tmpSuffix    = ".tmp"
+	snapshotName   = "snapshot.kvcc"
+	walName        = "wal.log"
+	indexName      = "index.kvcc"
+	indexNameKECC  = "index.kecc"
+	indexNameKCore = "index.kcore"
+	tmpSuffix      = ".tmp"
 )
 
 // crcTable is the CRC64-ECMA table shared by every checksummed region.

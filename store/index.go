@@ -9,9 +9,23 @@ import (
 	"io"
 	"os"
 
+	"kvcc/cohesion"
 	"kvcc/graph"
 	"kvcc/hierarchy"
 )
+
+// indexFileName maps a measure to its index file inside a store
+// directory. The k-VCC name predates the measure abstraction.
+func indexFileName(m cohesion.Measure) string {
+	switch m {
+	case cohesion.KECC:
+		return indexNameKECC
+	case cohesion.KCore:
+		return indexNameKCore
+	default:
+		return indexName
+	}
+}
 
 // Persisted hierarchy index: a small checksummed header followed by a
 // gob-encoded flattening of the tree. Unlike the graph snapshot the
@@ -25,10 +39,14 @@ import (
 //
 //	[ 0: 8)  magic "KVCCIDX1"
 //	[ 8:12)  format version (u32)
-//	[12:16)  reserved (u32)
+//	[12:16)  cohesion measure id (u32; 0 = kvcc, 1 = kecc, 2 = kcore)
 //	[16:24)  graph version stamp (u64)
 //	[24:32)  payload CRC64-ECMA
 //	[32:40)  header CRC64-ECMA over bytes [0:32)
+//
+// The measure field was the reserved word until the measure abstraction
+// existed; pre-measure files wrote 0 there, which reads back as kvcc —
+// exactly what those files contain.
 
 const indexHeader = 40
 
@@ -138,6 +156,7 @@ func writeIndex(path string, t *hierarchy.Tree, version uint64, buildMS float64)
 	var header [indexHeader]byte
 	copy(header[0:8], indexMagic)
 	binary.LittleEndian.PutUint32(header[8:12], formatVersion)
+	binary.LittleEndian.PutUint32(header[12:16], uint32(t.Measure))
 	binary.LittleEndian.PutUint64(header[16:24], version)
 	binary.LittleEndian.PutUint64(header[24:32], crc64.Checksum(body.Bytes(), crcTable))
 	binary.LittleEndian.PutUint64(header[32:40], crc64.Checksum(header[0:32], crcTable))
@@ -158,11 +177,12 @@ func writeIndex(path string, t *hierarchy.Tree, version uint64, buildMS float64)
 }
 
 // readIndex loads a persisted index, requiring its stamp to equal the
-// recovered graph version. It returns ok=false — not an error — when the
-// file is missing or stamped with a different version (stale after a
+// recovered graph version and its measure id to equal the measure the
+// caller expects for this file. It returns ok=false — not an error — when
+// the file is missing or stamped with a different version (stale after a
 // crash that lost the index but replayed newer WAL records, say); errors
 // are reserved for a present, matching file that is damaged.
-func readIndex(path string, wantVersion uint64) (t *hierarchy.Tree, buildMS float64, ok bool, err error) {
+func readIndex(path string, wantVersion uint64, wantMeasure cohesion.Measure) (t *hierarchy.Tree, buildMS float64, ok bool, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, 0, false, nil
@@ -185,6 +205,12 @@ func readIndex(path string, wantVersion uint64) (t *hierarchy.Tree, buildMS floa
 	if got, want := crc64.Checksum(header[0:32], crcTable), binary.LittleEndian.Uint64(header[32:40]); got != want {
 		return nil, 0, false, &corruptError{path: path, msg: "header checksum mismatch"}
 	}
+	if m := binary.LittleEndian.Uint32(header[12:16]); m != uint32(wantMeasure) {
+		// A measure file holding some other measure's tree cannot serve;
+		// it is damage, not staleness (the file name determines the
+		// expected measure).
+		return nil, 0, false, &corruptError{path: path, msg: fmt.Sprintf("measure id %d, want %d", m, uint32(wantMeasure))}
+	}
 	if binary.LittleEndian.Uint64(header[16:24]) != wantVersion {
 		return nil, 0, false, nil // index of another graph state: ignore
 	}
@@ -203,5 +229,6 @@ func readIndex(path string, wantVersion uint64) (t *hierarchy.Tree, buildMS floa
 	if err != nil {
 		return nil, 0, false, err
 	}
+	tree.Measure = wantMeasure
 	return tree, payload.BuildMS, true, nil
 }

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kvcc/cohesion"
+	"kvcc/hierarchy"
+	"kvcc/internal/difftest"
+)
+
+// TestPerMeasureIndexRoundTrip saves one index per cohesion measure into
+// the same store and checks they live in separate files, reload
+// independently (including across a reopen), and reproduce the exact
+// levels of a fresh build for their measure.
+func TestPerMeasureIndexRoundTrip(t *testing.T) {
+	g := difftest.Corpus()[0].G
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(g, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[cohesion.Measure]*hierarchy.Tree{}
+	for _, m := range cohesion.Measures() {
+		tree, err := hierarchy.Build(g, hierarchy.Options{Measure: m})
+		if err != nil {
+			t.Fatalf("%s build: %v", m, err)
+		}
+		if err := st.SaveIndex(tree, 7, 1.5); err != nil {
+			t.Fatalf("%s save: %v", m, err)
+		}
+		want[m] = tree
+	}
+	for _, name := range []string{indexName, indexNameKECC, indexNameKCore} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("per-measure index file %s: %v", name, err)
+		}
+	}
+
+	check := func(st *Store) {
+		t.Helper()
+		for _, m := range cohesion.Measures() {
+			got, buildMS, ok, err := st.LoadIndex(m)
+			if err != nil || !ok {
+				t.Fatalf("%s load: ok=%v err=%v", m, ok, err)
+			}
+			if buildMS != 1.5 || got.Measure != m {
+				t.Fatalf("%s load: buildMS=%v measure=%v", m, buildMS, got.Measure)
+			}
+			for k := 1; k <= want[m].MaxK; k++ {
+				a := difftest.Signatures(got.LevelComponents(k))
+				b := difftest.Signatures(want[m].LevelComponents(k))
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("%s level %d differs after round trip", m, k)
+				}
+			}
+		}
+	}
+	check(st)
+	st.Close()
+
+	st, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	check(st)
+
+	// DropIndex clears every measure's file.
+	if err := st.DropIndex(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range cohesion.Measures() {
+		if _, _, ok, err := st.LoadIndex(m); err != nil || ok {
+			t.Fatalf("%s after drop: ok=%v err=%v, want absent", m, ok, err)
+		}
+	}
+}
+
+// TestIndexMeasureMismatchIsCorrupt: a measure file holding another
+// measure's tree is damage (the file name fixes the expectation), not
+// staleness — it must never be served.
+func TestIndexMeasureMismatchIsCorrupt(t *testing.T) {
+	g := difftest.Corpus()[0].G
+	tree, err := hierarchy.Build(g, hierarchy.Options{}) // kvcc tree
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), indexNameKECC)
+	if err := writeIndex(path, tree, 42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := readIndex(path, 42, cohesion.KECC); !IsCorrupt(err) {
+		t.Fatalf("kvcc tree in the kecc file: err = %v, want corruption", err)
+	}
+}
+
+// TestPreMeasureIndexHeaderCompat pins the on-disk compatibility story:
+// a kvcc index writes 0 into the measure field — the byte the pre-measure
+// format reserved as zero — so old files read back as kvcc and new kvcc
+// files are byte-compatible with old readers' expectations.
+func TestPreMeasureIndexHeaderCompat(t *testing.T) {
+	g := difftest.Corpus()[0].G
+	tree, err := hierarchy.Build(g, hierarchy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), indexName)
+	if err := writeIndex(path, tree, 9, 1); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := binary.LittleEndian.Uint32(raw[12:16]); m != 0 {
+		t.Fatalf("kvcc index header measure field = %d, want 0 (the pre-measure reserved value)", m)
+	}
+	if _, _, ok, err := readIndex(path, 9, cohesion.KVCC); err != nil || !ok {
+		t.Fatalf("measure-0 file as kvcc: ok=%v err=%v", ok, err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"kvcc/cohesion"
 	"kvcc/graph"
 	"kvcc/hierarchy"
 )
@@ -58,9 +59,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	// A crash mid-checkpoint leaves snapshot.kvcc.tmp (never renamed, so
-	// never visible as the snapshot); clean it and the index temp up.
+	// never visible as the snapshot); clean it and the index temps up.
 	os.Remove(filepath.Join(dir, snapshotName+tmpSuffix))
-	os.Remove(filepath.Join(dir, indexName+tmpSuffix))
+	for _, m := range cohesion.Measures() {
+		os.Remove(filepath.Join(dir, indexFileName(m)+tmpSuffix))
+	}
 
 	s := &Store{dir: dir, opts: opts}
 	snapPath := filepath.Join(dir, snapshotName)
@@ -213,36 +216,39 @@ func (s *Store) Checkpoint(g *graph.Graph, version uint64) error {
 }
 
 // SaveIndex persists a finished hierarchy index stamped with the overlay
-// version it was built from. A later load only uses it if the recovered
-// graph is at exactly that version.
+// version it was built from, into the index file of the tree's measure.
+// A later load only uses it if the recovered graph is at exactly that
+// version.
 func (s *Store) SaveIndex(t *hierarchy.Tree, version uint64, buildMS float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.destroyed {
 		return fmt.Errorf("store: %s: destroyed", s.dir)
 	}
-	return writeIndex(filepath.Join(s.dir, indexName), t, version, buildMS)
+	return writeIndex(filepath.Join(s.dir, indexFileName(t.Measure)), t, version, buildMS)
 }
 
-// LoadIndex loads the persisted hierarchy index if one exists and was
-// built from the store's recovered version. ok=false with a nil error
-// means "no usable index" (absent or stale); an error means the file
-// matched but is damaged.
-func (s *Store) LoadIndex() (t *hierarchy.Tree, buildMS float64, ok bool, err error) {
+// LoadIndex loads the persisted hierarchy index of the given measure if
+// one exists and was built from the store's recovered version. ok=false
+// with a nil error means "no usable index" (absent or stale); an error
+// means the file matched but is damaged.
+func (s *Store) LoadIndex(m cohesion.Measure) (t *hierarchy.Tree, buildMS float64, ok bool, err error) {
 	s.mu.Lock()
 	version := s.version
 	s.mu.Unlock()
-	return readIndex(filepath.Join(s.dir, indexName), version)
+	return readIndex(filepath.Join(s.dir, indexFileName(m)), version, m)
 }
 
-// DropIndex removes the persisted index (if any) — called when the graph
-// it describes is replaced wholesale.
+// DropIndex removes the persisted indexes of every measure (if any) —
+// called when the graph they describe is replaced wholesale.
 func (s *Store) DropIndex() error {
-	err := os.Remove(filepath.Join(s.dir, indexName))
-	if os.IsNotExist(err) {
-		return nil
+	for _, m := range cohesion.Measures() {
+		err := os.Remove(filepath.Join(s.dir, indexFileName(m)))
+		if err != nil && !os.IsNotExist(err) {
+			return err
+		}
 	}
-	return err
+	return nil
 }
 
 // Dir returns the store's directory.

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"kvcc/cohesion"
 	"kvcc/graph"
 	"kvcc/hierarchy"
 	"kvcc/internal/difftest"
@@ -447,7 +448,7 @@ func TestIndexRoundTrip(t *testing.T) {
 		t.Fatalf("writeIndex: %v", err)
 	}
 
-	got, buildMS, ok, err := readIndex(path, 42)
+	got, buildMS, ok, err := readIndex(path, 42, cohesion.KVCC)
 	if err != nil || !ok {
 		t.Fatalf("readIndex: ok=%v err=%v", ok, err)
 	}
@@ -466,7 +467,7 @@ func TestIndexRoundTrip(t *testing.T) {
 		}
 	}
 
-	if _, _, ok, err := readIndex(path, 41); err != nil || ok {
+	if _, _, ok, err := readIndex(path, 41, cohesion.KVCC); err != nil || ok {
 		t.Fatalf("stale-version index: ok=%v err=%v, want ignored", ok, err)
 	}
 
@@ -478,7 +479,7 @@ func TestIndexRoundTrip(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := readIndex(path, 42); !IsCorrupt(err) {
+	if _, _, _, err := readIndex(path, 42, cohesion.KVCC); !IsCorrupt(err) {
 		t.Fatalf("damaged index: err = %v, want corruption", err)
 	}
 }
