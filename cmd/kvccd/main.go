@@ -9,7 +9,9 @@
 //	kvccd -graph social=social.txt -graph web=web.txt [-addr :7474]
 //	      [-cache 64] [-max-k 0] [-parallel 1] [-index] [-index-max-k 0]
 //	      [-index-measures kvcc] [-engine auto] [-seed 0]
-//	      [-request-timeout 30s] [-compute-timeout 5m] [-demo] [-selftest]
+//	      [-request-timeout 30s] [-compute-timeout 5m] [-max-timeout 0]
+//	      [-max-inflight 0] [-quota rps[:burst]] [-drain-timeout 10s]
+//	      [-demo] [-selftest]
 //
 // -graph name=path registers an edge list under a query name and may be
 // repeated; files are ingested through graphio's two-pass streaming
@@ -40,7 +42,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"kvcc"
@@ -97,6 +102,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		selftest        = fs.Bool("selftest", false, "start on an ephemeral port, exercise every endpoint, exit")
 		dataDir         = fs.String("data-dir", "", "durable store directory: graphs survive restarts via snapshot + WAL (empty = in-memory only)")
 		checkpointEvery = fs.Int("checkpoint-every", 0, "fold the WAL into a fresh snapshot after this many edit batches (0 = default 32, negative = never)")
+		maxInflight     = fs.Int("max-inflight", 0, "concurrent expensive enumerations before requests queue and shed (0 = GOMAXPROCS)")
+		quota           = fs.String("quota", "", "per-tenant admission quota as rps[:burst], keyed by X-API-Key (empty = no quotas)")
+		drainTimeout    = fs.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM/SIGINT shutdown waits for in-flight requests")
+		maxTimeout      = fs.Duration("max-timeout", 0, "ceiling for client-supplied timeout_ms; larger values are clamped (0 = request-timeout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -123,6 +132,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	quotaRPS, quotaBurst, err := parseQuota(*quota)
+	if err != nil {
+		fmt.Fprintln(stderr, "kvccd: -quota:", err)
+		return 2
+	}
+
 	cfg := server.Config{
 		CacheSize:       *cacheSize,
 		MaxK:            *maxK,
@@ -136,6 +151,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:            *seed,
 		DataDir:         *dataDir,
 		CheckpointEvery: *checkpointEvery,
+		MaxInflight:     *maxInflight,
+		QuotaRPS:        quotaRPS,
+		QuotaBurst:      quotaBurst,
+		MaxTimeout:      *maxTimeout,
 	}
 	// With -data-dir, Open recovers every previously served graph from its
 	// snapshot + WAL before any file ingestion: a restart serves the exact
@@ -189,11 +208,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 		IdleTimeout:       2 * time.Minute,
 	}
 	fmt.Fprintf(stdout, "kvccd: listening on %s\n", *addr)
-	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+
+	// Graceful shutdown: the first SIGTERM/SIGINT flips the server into
+	// draining (new admissions shed with 503, healthz reports draining so
+	// load balancers stop routing here), then in-flight requests get up to
+	// -drain-timeout to finish before the listener is torn down and the
+	// stores are closed. A second signal falls back to the runtime's
+	// default handling and kills the process immediately.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(stderr, "kvccd:", err)
+			return 1
+		}
+		return 0
+	case <-sigCtx.Done():
+	}
+	stop()
+	fmt.Fprintf(stdout, "kvccd: shutdown signal received; draining for up to %s\n", *drainTimeout)
+	srv.BeginDrain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	if err := httpServer.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(stderr, "kvccd: drain timeout exceeded; closing with requests in flight:", err)
+		httpServer.Close()
+	}
+	if err := srv.Close(); err != nil {
 		fmt.Fprintln(stderr, "kvccd:", err)
 		return 1
 	}
+	fmt.Fprintln(stdout, "kvccd: shutdown complete")
 	return 0
+}
+
+// parseQuota parses the -quota flag: "rps" or "rps:burst". An empty value
+// disables quotas.
+func parseQuota(raw string) (rps float64, burst int, err error) {
+	if raw == "" {
+		return 0, 0, nil
+	}
+	rpsPart, burstPart, hasBurst := strings.Cut(raw, ":")
+	rps, err = strconv.ParseFloat(rpsPart, 64)
+	if err != nil || rps <= 0 {
+		return 0, 0, fmt.Errorf("want rps[:burst] with rps > 0, got %q", raw)
+	}
+	if hasBurst {
+		burst, err = strconv.Atoi(burstPart)
+		if err != nil || burst <= 0 {
+			return 0, 0, fmt.Errorf("want rps[:burst] with burst > 0, got %q", raw)
+		}
+	}
+	return rps, burst, nil
 }
 
 // demoGraph builds a deterministic planted-community graph: eight dense

@@ -1,0 +1,205 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// registry holds the active points. enabled is a fast-path gate: with no
+// points active, Eval costs one atomic load — still cheap enough that a
+// chaos binary serving clean traffic is representative.
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	points  = map[string]*point{}
+	trips   atomic.Int64
+)
+
+// point is one activated failpoint.
+type point struct {
+	prob  float64 // firing probability; 1 = always, 0 = registered but inert
+	rng   uint64  // xorshift64 state, deterministic per point
+	evals atomic.Int64
+	fired atomic.Int64
+}
+
+// Compiled reports whether the failpoint machinery is in this binary.
+func Compiled() bool { return true }
+
+func init() {
+	if spec := os.Getenv("KVCC_FAILPOINTS"); spec != "" {
+		if err := ActivateSpec(spec); err != nil {
+			fmt.Fprintln(os.Stderr, "failpoint: KVCC_FAILPOINTS:", err)
+			os.Exit(2)
+		}
+	}
+}
+
+// Eval returns an injected *Error when the named point is active and its
+// term fires, nil otherwise. Marked sites call it unconditionally; the
+// enabled gate keeps the clean path to a single atomic load.
+func Eval(name string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	mu.Lock()
+	p := points[name]
+	if p == nil {
+		mu.Unlock()
+		return nil
+	}
+	p.evals.Add(1)
+	fire := false
+	switch {
+	case p.prob >= 1:
+		fire = true
+	case p.prob > 0:
+		// xorshift64: deterministic per point, so a seeded chaos run
+		// replays the same fault schedule.
+		x := p.rng
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p.rng = x
+		fire = float64(x>>11)/(1<<53) < p.prob
+	}
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	p.fired.Add(1)
+	trips.Add(1)
+	return &Error{Point: name}
+}
+
+// Activate arms one point with a term: "error", "error(p)" or "off".
+// Re-activating replaces the previous term and resets the point's PRNG,
+// keeping its counters.
+func Activate(name, term string) error {
+	if name == "" {
+		return fmt.Errorf("failpoint: empty point name")
+	}
+	prob, err := parseTerm(term)
+	if err != nil {
+		return fmt.Errorf("failpoint: %s: %w", name, err)
+	}
+	mu.Lock()
+	p := points[name]
+	if p == nil {
+		p = &point{}
+		points[name] = p
+	}
+	p.prob = prob
+	p.rng = seedFor(name, baseSeed)
+	enabled.Store(true)
+	mu.Unlock()
+	return nil
+}
+
+// ActivateSpec arms a semicolon-separated list of name=term pairs — the
+// KVCC_FAILPOINTS grammar.
+func ActivateSpec(spec string) error {
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, term, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("failpoint: term %q is not name=term", part)
+		}
+		if err := Activate(strings.TrimSpace(name), strings.TrimSpace(term)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseTerm(term string) (prob float64, err error) {
+	switch {
+	case term == "error":
+		return 1, nil
+	case term == "off":
+		return 0, nil
+	case strings.HasPrefix(term, "error(") && strings.HasSuffix(term, ")"):
+		p, err := strconv.ParseFloat(term[len("error("):len(term)-1], 64)
+		if err != nil || p < 0 || p > 1 {
+			return 0, fmt.Errorf("bad probability in term %q", term)
+		}
+		return p, nil
+	}
+	return 0, fmt.Errorf("unknown term %q (want error | error(p) | off)", term)
+}
+
+// Deactivate disarms one point, keeping its counters visible in Snapshot.
+func Deactivate(name string) {
+	mu.Lock()
+	if p := points[name]; p != nil {
+		p.prob = 0
+	}
+	mu.Unlock()
+}
+
+// Reset disarms and forgets every point and zeroes the trip counters.
+func Reset() {
+	mu.Lock()
+	points = map[string]*point{}
+	enabled.Store(false)
+	trips.Store(0)
+	mu.Unlock()
+}
+
+// baseSeed feeds every point's PRNG; SeedAll changes it for subsequent
+// activations so chaos runs can explore different fault schedules while
+// staying reproducible.
+var baseSeed uint64 = 0x9e3779b97f4a7c15
+
+// SeedAll sets the seed mixed into every subsequently activated point's
+// PRNG and re-seeds the already-active ones.
+func SeedAll(seed uint64) {
+	mu.Lock()
+	baseSeed = seed | 1
+	for name, p := range points {
+		p.rng = seedFor(name, baseSeed)
+	}
+	mu.Unlock()
+}
+
+// seedFor mixes the point name into the base seed (FNV-1a) so distinct
+// points fire on decorrelated schedules.
+func seedFor(name string, seed uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= seed
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// TotalTrips returns the number of injected faults since the last Reset.
+func TotalTrips() int64 { return trips.Load() }
+
+// Snapshot returns per-point trip counts (fired evaluations) for every
+// point that has been activated since the last Reset.
+func Snapshot() map[string]int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if len(points) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(points))
+	for name, p := range points {
+		out[name] = p.fired.Load()
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+// Package failpoint is the fault-injection switchboard for the chaos
+// harness. Production code marks the places where the outside world can
+// fail — a WAL write, an fsync, an mmap, the start of an expensive
+// computation — with a named Eval call; the chaos suite then activates
+// those points with deterministic error terms and proves that recovery,
+// shedding and degradation behave as specified while they fire.
+//
+// The package has two personalities selected by the `failpoint` build
+// tag:
+//
+//   - Without the tag (every production build, the default test run),
+//     Eval is a constant no-op that the compiler inlines away: no map
+//     lookup, no atomic load, no branch on a global. Activate returns an
+//     error so a misconfigured deployment cannot silently believe it is
+//     injecting faults.
+//
+//   - With `-tags failpoint`, Eval consults a registry of active points.
+//     Points are activated programmatically (Activate, from tests) or at
+//     process start from the KVCC_FAILPOINTS environment variable, e.g.
+//
+//     KVCC_FAILPOINTS='store/wal-sync=error;store/mmap=error(0.1)'
+//
+// Term grammar (one term per point):
+//
+//	error        fire on every evaluation
+//	error(p)     fire with probability p in [0,1], from a deterministic
+//	             per-point PRNG (seeded by SeedAll, default fixed)
+//	off          registered but inert (counts evaluations, never fires)
+//
+// Every firing increments a per-point trip counter surfaced through
+// Snapshot and TotalTrips; the server exposes the totals in its stats
+// endpoint so an operator (or the chaos driver) can confirm the faults
+// actually happened.
+//
+// Naming convention: points are "<package>/<site>" — the catalog lives
+// in docs/ARCHITECTURE.md ("Overload & failure model").
+package failpoint
+
+import "fmt"
+
+// Error is the injected failure returned by a tripped failpoint. It
+// wraps no underlying cause — the whole point is that the fault is
+// synthetic — but carries the point name so logs and assertions can
+// attribute it.
+type Error struct {
+	Point string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("failpoint: injected fault at %q", e.Point)
+}
+
+// IsInjected reports whether err (or anything it wraps) is a synthetic
+// failpoint fault rather than a real failure.
+func IsInjected(err error) bool {
+	for err != nil {
+		if _, ok := err.(*Error); ok {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

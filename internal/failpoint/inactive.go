@@ -1,0 +1,39 @@
+//go:build !failpoint
+
+package failpoint
+
+import "errors"
+
+// Compiled reports whether the failpoint machinery is in this binary.
+func Compiled() bool { return false }
+
+// Eval is the inactive no-op: a constant-false build makes the call
+// vanish at every marked site, so production binaries pay nothing for
+// carrying the markers.
+func Eval(name string) error { return nil }
+
+// Activate fails loudly in builds without the machinery: a test or chaos
+// driver that believes it is injecting faults must find out it is not.
+func Activate(name, term string) error {
+	return errors.New("failpoint: not compiled in (build with -tags failpoint)")
+}
+
+// ActivateSpec fails for the same reason as Activate.
+func ActivateSpec(spec string) error {
+	return errors.New("failpoint: not compiled in (build with -tags failpoint)")
+}
+
+// Deactivate is a no-op without the machinery.
+func Deactivate(name string) {}
+
+// Reset is a no-op without the machinery.
+func Reset() {}
+
+// SeedAll is a no-op without the machinery.
+func SeedAll(seed uint64) {}
+
+// TotalTrips is always zero without the machinery.
+func TotalTrips() int64 { return 0 }
+
+// Snapshot is always empty without the machinery.
+func Snapshot() map[string]int64 { return nil }

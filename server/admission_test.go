@@ -1,0 +1,275 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// admissionConfig builds a tiny, fully deterministic admission ladder:
+// one expensive permit, a queue of one, and a short queue deadline.
+func admissionConfig() Config {
+	return Config{
+		MaxInflight:    1,
+		AdmissionQueue: 1,
+		QueueTimeout:   50 * time.Millisecond,
+		ShedLatency:    -1, // breaker off unless a test arms it
+	}.withDefaults()
+}
+
+func TestAdmissionFastPathAndRelease(t *testing.T) {
+	a := newAdmission(admissionConfig())
+	release, err := a.acquire(context.Background(), classExpensive)
+	if err != nil {
+		t.Fatalf("acquire on an idle limiter: %v", err)
+	}
+	if got := a.classes[classExpensive].inflight(); got != 1 {
+		t.Fatalf("inflight = %d, want 1", got)
+	}
+	release()
+	if got := a.classes[classExpensive].inflight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+	st := a.snapshot()
+	if st.Admitted != 1 || st.Shed != 0 {
+		t.Fatalf("snapshot = %+v, want admitted=1 shed=0", st)
+	}
+}
+
+func TestAdmissionQueueFullShed(t *testing.T) {
+	a := newAdmission(admissionConfig())
+	holder, err := a.acquire(context.Background(), classExpensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder()
+
+	// Fill the single queue slot with a waiter that will sit until the
+	// queue deadline.
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(context.Background(), classExpensive)
+		waiterErr <- err
+	}()
+	// Wait until the waiter is actually queued.
+	deadline := time.Now().Add(time.Second)
+	for a.classes[classExpensive].queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err = a.acquire(context.Background(), classExpensive)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("acquire with a full queue: err = %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue-full" {
+		t.Fatalf("err = %v, want reason queue-full", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatalf("queue-full shed carries no Retry-After hint: %+v", oe)
+	}
+
+	// The queued waiter must itself shed at the queue deadline.
+	if err := <-waiterErr; !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued waiter: err = %v, want ErrOverloaded (queue-timeout)", err)
+	}
+	st := a.snapshot()
+	if st.ShedQueueFull != 1 || st.ShedQueueTimeout != 1 {
+		t.Fatalf("snapshot = %+v, want shedQueueFull=1 shedQueueTimeout=1", st)
+	}
+}
+
+func TestAdmissionQueuedRequestHonorsContext(t *testing.T) {
+	a := newAdmission(admissionConfig())
+	holder, err := a.acquire(context.Background(), classExpensive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err = a.acquire(ctx, classExpensive)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued acquire past its own deadline: err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestAdmissionDrainSheds(t *testing.T) {
+	a := newAdmission(admissionConfig())
+	a.beginDrain()
+	_, err := a.acquire(context.Background(), classCheap)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || !oe.Draining {
+		t.Fatalf("acquire while draining: err = %v, want draining OverloadError", err)
+	}
+	if !a.snapshot().Draining {
+		t.Fatal("snapshot does not report draining")
+	}
+}
+
+func TestAdmissionAdaptiveBreaker(t *testing.T) {
+	cfg := admissionConfig()
+	cfg.ShedLatency = 10 * time.Millisecond
+	a := newAdmission(cfg)
+
+	// Saturate the wait window with samples far above the target.
+	for i := 0; i < admissionWaitWindow; i++ {
+		a.noteWait(100)
+	}
+	holder, err := a.acquire(context.Background(), classExpensive)
+	if err != nil {
+		t.Fatalf("fast path must stay open regardless of the breaker: %v", err)
+	}
+	_, err = a.acquire(context.Background(), classExpensive)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "queue-latency" {
+		t.Fatalf("contended acquire with p95 above target: err = %v, want queue-latency", err)
+	}
+
+	// Recovery: freeing the permit re-opens the fast path, whose zero-wait
+	// samples eventually close the breaker.
+	holder()
+	for i := 0; i < admissionWaitWindow; i++ {
+		r, err := a.acquire(context.Background(), classExpensive)
+		if err != nil {
+			t.Fatalf("fast-path acquire %d during recovery: %v", i, err)
+		}
+		r()
+	}
+	if p95 := a.queueWaitQuantile(0.95); p95 > float64(cfg.ShedLatency)/float64(time.Millisecond) {
+		t.Fatalf("breaker did not self-heal: p95 = %.1fms", p95)
+	}
+}
+
+func TestAdmissionQuota(t *testing.T) {
+	cfg := admissionConfig()
+	cfg.QuotaRPS = 0.001 // effectively no refill within the test
+	cfg.QuotaBurst = 2
+	a := newAdmission(cfg)
+
+	for i := 0; i < 2; i++ {
+		if err := a.checkQuota("tenant-a"); err != nil {
+			t.Fatalf("request %d within burst: %v", i, err)
+		}
+	}
+	err := a.checkQuota("tenant-a")
+	var oe *OverloadError
+	if !errors.As(err, &oe) || oe.Reason != "quota" {
+		t.Fatalf("over-quota request: err = %v, want quota OverloadError", err)
+	}
+	if oe.RetryAfter < time.Second {
+		t.Fatalf("quota rejection Retry-After = %s, want >= 1s", oe.RetryAfter)
+	}
+	// Another tenant's bucket is untouched.
+	if err := a.checkQuota("tenant-b"); err != nil {
+		t.Fatalf("independent tenant: %v", err)
+	}
+	if got := a.snapshot().QuotaRejections; got != 1 {
+		t.Fatalf("quotaRejections = %d, want 1", got)
+	}
+}
+
+func TestTenantFallsBackToGraph(t *testing.T) {
+	ctx := context.Background()
+	if got := tenantFrom(ctx, "g1"); got != "graph:g1" {
+		t.Fatalf("anonymous tenant = %q, want graph:g1", got)
+	}
+	if got := tenantFrom(WithTenant(ctx, "key-1"), "g1"); got != "key-1" {
+		t.Fatalf("keyed tenant = %q, want key-1", got)
+	}
+}
+
+func TestRetryAfterHintClamped(t *testing.T) {
+	a := newAdmission(admissionConfig())
+	if got := a.retryAfterHint(classExpensive); got != time.Second {
+		t.Fatalf("hint with no service history = %s, want 1s floor", got)
+	}
+	a.noteServiceMS("g/kvcc/3", 10*60*1000) // 10 minutes per enumeration
+	if got := a.retryAfterHint(classExpensive); got != 30*time.Second {
+		t.Fatalf("hint with huge backlog = %s, want 30s ceiling", got)
+	}
+}
+
+func TestEstimateFallsBackToGlobalEWMA(t *testing.T) {
+	a := newAdmission(admissionConfig())
+	if _, ok := a.estimateMS("g/kvcc/3"); ok {
+		t.Fatal("estimate exists before any service samples")
+	}
+	a.noteServiceMS("g/kvcc/3", 50)
+	if est, ok := a.estimateMS("g/kvcc/3"); !ok || est != 50 {
+		t.Fatalf("per-key estimate = %.1f/%v, want 50/true", est, ok)
+	}
+	if est, ok := a.estimateMS("other/kvcc/4"); !ok || est != 50 {
+		t.Fatalf("global fallback estimate = %.1f/%v, want 50/true", est, ok)
+	}
+}
+
+// FuzzAdmission drives random acquire/release/drain sequences through the
+// admission ladder and asserts its safety invariants: permits never go
+// negative or exceed capacity, queue counters return to zero, and every
+// admission hands back a usable release.
+func FuzzAdmission(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 0xff, 0x80, 0x40})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xfe, 0xfd})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		cfg := Config{
+			MaxInflight:      2,
+			MaxInflightCheap: 2,
+			AdmissionQueue:   2,
+			QueueTimeout:     time.Millisecond,
+			ShedLatency:      500 * time.Microsecond,
+			QuotaRPS:         1000,
+			QuotaBurst:       4,
+		}.withDefaults()
+		a := newAdmission(cfg)
+		var releases []func()
+		ctx := context.Background()
+		for _, op := range ops {
+			switch op % 5 {
+			case 0, 1, 2:
+				cls := costClass(op % 5)
+				release, err := a.acquire(ctx, cls)
+				if err == nil {
+					releases = append(releases, release)
+				} else if !errors.Is(err, ErrOverloaded) {
+					t.Fatalf("acquire(%v): unexpected error kind %v", cls, err)
+				}
+			case 3:
+				if len(releases) > 0 {
+					releases[len(releases)-1]()
+					releases = releases[:len(releases)-1]
+				}
+			case 4:
+				_ = a.checkQuota(string(rune('a' + op%7)))
+			}
+			for cls := costClass(0); cls < numCostClasses; cls++ {
+				l := a.classes[cls]
+				if inf := l.inflight(); inf < 0 || inf > l.cap {
+					t.Fatalf("class %v inflight %d out of [0,%d]", cls, inf, l.cap)
+				}
+				if q := l.queued.Load(); q < 0 || q > l.maxQueue {
+					t.Fatalf("class %v queued %d out of [0,%d]", cls, q, l.maxQueue)
+				}
+			}
+		}
+		for _, release := range releases {
+			release()
+		}
+		for cls := costClass(0); cls < numCostClasses; cls++ {
+			l := a.classes[cls]
+			if inf := l.inflight(); inf != 0 {
+				t.Fatalf("class %v still holds %d permits after full release", cls, inf)
+			}
+		}
+		// The snapshot must always be renderable.
+		if st := a.snapshot(); st == nil {
+			t.Fatal("nil snapshot")
+		}
+	})
+}

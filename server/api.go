@@ -59,15 +59,20 @@ type EnumerateResponse struct {
 	K     int    `json:"k"`
 	// Measure is set for non-default measures only, so k-VCC responses
 	// are byte-identical to the pre-measure wire format.
-	Measure     string            `json:"measure,omitempty"`
-	Algorithm   string            `json:"algorithm,omitempty"`
-	Cached      bool              `json:"cached"`
-	Deduped     bool              `json:"deduped,omitempty"`
-	IndexServed bool              `json:"index_served,omitempty"`
-	ElapsedMS   float64           `json:"elapsed_ms"`
-	Components  []Component       `json:"components"`
-	Stats       kvcc.Stats        `json:"stats"`
-	Metrics     *metrics.Averages `json:"avg_metrics,omitempty"`
+	Measure     string `json:"measure,omitempty"`
+	Algorithm   string `json:"algorithm,omitempty"`
+	Cached      bool   `json:"cached"`
+	Deduped     bool   `json:"deduped,omitempty"`
+	IndexServed bool   `json:"index_served,omitempty"`
+	// Degraded marks a previous-generation result served because fresh
+	// compute could not fit the request's deadline budget (or was shed
+	// under overload): correct for the graph as it was one edit batch
+	// ago, stale for the current one.
+	Degraded   bool              `json:"degraded,omitempty"`
+	ElapsedMS  float64           `json:"elapsed_ms"`
+	Components []Component       `json:"components"`
+	Stats      kvcc.Stats        `json:"stats"`
+	Metrics    *metrics.Averages `json:"avg_metrics,omitempty"`
 }
 
 // ContainingRequest asks which level-k components contain one vertex
@@ -94,6 +99,7 @@ type ContainingResponse struct {
 	Algorithm   string      `json:"algorithm,omitempty"`
 	Cached      bool        `json:"cached"`
 	IndexServed bool        `json:"index_served,omitempty"`
+	Degraded    bool        `json:"degraded,omitempty"`
 	Vertex      int64       `json:"vertex"`
 	Indices     []int       `json:"indices"`
 	Components  []Component `json:"components"`
@@ -120,6 +126,7 @@ type OverlapResponse struct {
 	Algorithm   string  `json:"algorithm,omitempty"`
 	Cached      bool    `json:"cached"`
 	IndexServed bool    `json:"index_served,omitempty"`
+	Degraded    bool    `json:"degraded,omitempty"`
 	Matrix      [][]int `json:"matrix"`
 }
 
@@ -258,6 +265,12 @@ type EditsRequest struct {
 	Graph   string     `json:"graph,omitempty"`
 	Inserts [][2]int64 `json:"inserts,omitempty"`
 	Deletes [][2]int64 `json:"deletes,omitempty"`
+	// IdempotencyKey, when non-empty, makes the batch safe to retry: a
+	// batch whose key the server has already applied is answered from the
+	// replay table (Replayed=true in the response) instead of being
+	// applied again. Keys are durably logged with the batch, so the
+	// at-most-once guarantee holds across crashes and restarts.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // EditsResponse reports one applied edit batch: the new version and graph
@@ -283,7 +296,12 @@ type EditsResponse struct {
 	// write-ahead log before this response was built, i.e. it survives a
 	// crash. Absent when the server runs without a data directory (or the
 	// append failed — see StatsResponse.Persistence for the error).
-	Persisted bool    `json:"persisted,omitempty"`
+	Persisted bool `json:"persisted,omitempty"`
+	// Replayed reports that this batch's idempotency key was already
+	// applied: the response replays the original outcome (after a restart
+	// only Version survives; the counts died with the process) and the
+	// graph was not touched again.
+	Replayed  bool    `json:"replayed,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
@@ -295,12 +313,60 @@ type RemoveGraphResponse struct {
 
 // StatsResponse is the server's operational snapshot.
 type StatsResponse struct {
-	Graphs       []GraphInfo   `json:"graphs"`
-	Cache        CacheStats    `json:"cache"`
-	Enumerations EnumStats     `json:"enumerations"`
-	Indexes      []IndexInfo   `json:"indexes,omitempty"`
-	Persistence  *PersistStats `json:"persistence,omitempty"`
-	UptimeMS     float64       `json:"uptime_ms"`
+	Graphs       []GraphInfo     `json:"graphs"`
+	Cache        CacheStats      `json:"cache"`
+	Enumerations EnumStats       `json:"enumerations"`
+	Indexes      []IndexInfo     `json:"indexes,omitempty"`
+	Persistence  *PersistStats   `json:"persistence,omitempty"`
+	Admission    *AdmissionStats `json:"admission,omitempty"`
+	UptimeMS     float64         `json:"uptime_ms"`
+}
+
+// AdmissionStats describes the server's overload boundary: configured
+// capacity, current pressure, and what the admission ladder has done so
+// far. Shed is the sum of the per-reason shed counters.
+type AdmissionStats struct {
+	// Draining is set after BeginDrain: the server refuses new admissions
+	// with 503 while in-flight work finishes.
+	Draining bool `json:"draining,omitempty"`
+	// MaxInflight / MaxInflightCheap / QueueDepth echo the configured
+	// capacities; InflightExpensive and QueuedNow are the expensive
+	// class's instantaneous occupancy.
+	MaxInflight       int `json:"max_inflight"`
+	MaxInflightCheap  int `json:"max_inflight_cheap"`
+	QueueDepth        int `json:"queue_depth"`
+	InflightExpensive int `json:"inflight_expensive"`
+	QueuedNow         int `json:"queued_now"`
+	// Admitted counts granted permits; Queued the admissions that had to
+	// wait for one.
+	Admitted int64 `json:"admitted"`
+	Queued   int64 `json:"queued"`
+	// Shed totals rejected admissions, split by the rung that rejected:
+	// bounded queue overflow, queue deadline, the adaptive p95 breaker,
+	// and drain mode. QuotaRejections are counted separately — a
+	// throttled tenant is not server overload.
+	Shed             int64 `json:"shed"`
+	ShedQueueFull    int64 `json:"shed_queue_full,omitempty"`
+	ShedQueueTimeout int64 `json:"shed_queue_timeout,omitempty"`
+	ShedLatency      int64 `json:"shed_latency,omitempty"`
+	ShedDraining     int64 `json:"shed_draining,omitempty"`
+	QuotaRejections  int64 `json:"quota_rejections,omitempty"`
+	// Queue-wait percentiles over the recent expensive-class admissions,
+	// in milliseconds (fast-path admissions count as 0).
+	QueueWaitP50MS float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP95MS float64 `json:"queue_wait_p95_ms"`
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
+	// Degraded counts responses served from a previous generation under
+	// deadline or overload pressure; TimeoutsClamped the requests whose
+	// timeout_ms hit the MaxTimeout ceiling; IdempotentReplays the Edits
+	// batches answered from the replay table.
+	Degraded          int64 `json:"degraded,omitempty"`
+	TimeoutsClamped   int64 `json:"timeouts_clamped,omitempty"`
+	IdempotentReplays int64 `json:"idempotent_replays,omitempty"`
+	// FailpointTrips totals injected faults (chaos builds only; always 0
+	// in production binaries), split per point in Failpoints.
+	FailpointTrips int64            `json:"failpoint_trips,omitempty"`
+	Failpoints     map[string]int64 `json:"failpoints,omitempty"`
 }
 
 // PersistStats describes the durability layer of a server running with a

@@ -1,0 +1,261 @@
+//go:build failpoint
+
+package server
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kvcc/internal/failpoint"
+)
+
+// Server-level chaos battery (build with -tags failpoint): faults are
+// injected under the serving path — WAL appends, checkpoints, the
+// enumeration itself — and the assertions are the serving contract:
+// every acknowledged edit survives a kill, replay protection holds
+// across recovery, degraded persistence heals itself, and injected
+// faults are visible in Stats.
+
+// armServerFailpoints activates a spec and restores a clean slate after
+// the test, so later tests observe zero trips.
+func armServerFailpoints(t *testing.T, spec string) {
+	t.Helper()
+	if err := failpoint.ActivateSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.Reset)
+}
+
+// TestChaosEditsSurviveWALFaults applies a stream of keyed edits while
+// WAL fsyncs fail probabilistically. Every response must still report
+// Persisted=true — the checkpoint fallback recovers durability — and a
+// recovered server must serve the exact acknowledged state, including
+// the replay table.
+func TestChaosEditsSurviveWALFaults(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), CheckpointEvery: 64}
+	a, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddGraph("fig2", twoCliques())
+
+	failpoint.SeedAll(7)
+	armServerFailpoints(t, "store/wal-sync=error(0.3)")
+
+	ctx := context.Background()
+	var last *EditsResponse
+	var lastReq EditsRequest
+	for i := 0; i < 20; i++ {
+		req := EditsRequest{
+			Graph:          "fig2",
+			Inserts:        [][2]int64{{int64(1000 + 2*i), int64(1001 + 2*i)}},
+			IdempotencyKey: fmt.Sprintf("chaos-%d", i),
+		}
+		resp, err := a.Edits(ctx, req)
+		if err != nil {
+			t.Fatalf("edit %d failed: %v", i, err)
+		}
+		if !resp.Persisted {
+			t.Fatalf("edit %d acknowledged unpersisted under wal-sync faults: %+v", i, resp)
+		}
+		last, lastReq = resp, req
+	}
+	if failpoint.TotalTrips() == 0 {
+		t.Fatal("failpoint never fired: the test exercised nothing")
+	}
+	trips := failpoint.TotalTrips()
+	failpoint.Reset()
+	// Kill: no Close. Only what was fsync'd survives.
+
+	b, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("recovery after %d injected WAL faults: %v", trips, err)
+	}
+	defer b.Close()
+	infos := b.Graphs()
+	if len(infos) != 1 || infos[0].Version != last.Version {
+		t.Fatalf("recovered %+v, want version %d", infos, last.Version)
+	}
+
+	// Replay protection survived the kill.
+	retry, err := b.Edits(ctx, lastReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retry.Replayed || retry.Version != last.Version {
+		t.Fatalf("pre-kill key re-applied: %+v, want replay of version %d", retry, last.Version)
+	}
+
+	// Byte-identity of the served state: the recovered server and the
+	// never-killed in-memory one answer identically.
+	want, err := a.Enumerate(ctx, EnumerateRequest{Graph: "fig2", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Enumerate(ctx, EnumerateRequest{Graph: "fig2", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Components, want.Components) {
+		t.Fatalf("recovered server diverges:\ngot  %v\nwant %v", got.Components, want.Components)
+	}
+}
+
+// TestChaosDoubleFaultDegradesThenHeals drives the worst case: the WAL
+// append AND the fallback checkpoint both fail. The edit must still be
+// served (persistence degrades, never blocks), honestly reported as
+// unpersisted — and the next edit after the fault clears must re-sync
+// the store's version chain via the fallback checkpoint, so a later kill
+// loses nothing.
+func TestChaosDoubleFaultDegradesThenHeals(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), CheckpointEvery: 64}
+	a, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddGraph("fig2", twoCliques())
+	ctx := context.Background()
+
+	armServerFailpoints(t, "store/wal-sync=error;store/snapshot-write=error")
+	first, err := a.Edits(ctx, EditsRequest{Graph: "fig2", Inserts: [][2]int64{{100, 101}}})
+	if err != nil {
+		t.Fatalf("edit under double fault must still serve: %v", err)
+	}
+	if first.Persisted {
+		t.Fatal("edit claimed persisted while both WAL and checkpoint were failing")
+	}
+	if ps := a.Stats().Persistence; ps == nil || ps.Errors == 0 {
+		t.Fatalf("double fault left no trace in persistence stats: %+v", ps)
+	}
+	failpoint.Reset()
+
+	// The store is now behind the served version (chain gap). The next
+	// edit's append is refused by the chain guard and must heal through
+	// the fallback checkpoint.
+	second, err := a.Edits(ctx, EditsRequest{Graph: "fig2", Inserts: [][2]int64{{102, 103}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Persisted {
+		t.Fatalf("post-fault edit did not heal durability: %+v", second)
+	}
+	// Kill and recover: the healing checkpoint carried the full graph,
+	// including the batch that was lost to the double fault.
+	b, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("recovery after heal: %v", err)
+	}
+	defer b.Close()
+	infos := b.Graphs()
+	if len(infos) != 1 || infos[0].Version != second.Version {
+		t.Fatalf("recovered %+v, want version %d", infos, second.Version)
+	}
+	if infos[0].Edges != second.Edges {
+		t.Fatalf("recovered %d edges, want %d (double-fault batch lost)", infos[0].Edges, second.Edges)
+	}
+}
+
+// TestChaosKillRecoverCyclesServer runs several kill-and-recover cycles
+// with WAL faults firing throughout, comparing the recovered server
+// against a fault-free in-memory reference fed the same edits: versions
+// and enumeration results must stay identical cycle after cycle.
+func TestChaosKillRecoverCyclesServer(t *testing.T) {
+	cfg := Config{DataDir: t.TempDir(), CheckpointEvery: 3}
+	ref := New(Config{})
+	ref.AddGraph("fig2", twoCliques())
+	durable, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable.AddGraph("fig2", twoCliques())
+
+	ctx := context.Background()
+	t.Cleanup(failpoint.Reset)
+	label := int64(5000)
+	for cycle := 0; cycle < 4; cycle++ {
+		failpoint.SeedAll(uint64(100 + cycle))
+		if err := failpoint.ActivateSpec("store/wal-sync=error(0.3)"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			ins := [][2]int64{{label, label + 1}, {label + 1, label + 2}}
+			label += 3
+			want, err := ref.Edits(ctx, EditsRequest{Graph: "fig2", Inserts: ins})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := durable.Edits(ctx, EditsRequest{Graph: "fig2", Inserts: ins})
+			if err != nil {
+				t.Fatalf("cycle %d edit %d: %v", cycle, i, err)
+			}
+			if !got.Persisted {
+				t.Fatalf("cycle %d edit %d acknowledged unpersisted: %+v", cycle, i, got)
+			}
+			if got.Version != want.Version {
+				t.Fatalf("cycle %d edit %d: version %d diverges from reference %d",
+					cycle, i, got.Version, want.Version)
+			}
+		}
+		failpoint.Reset()
+
+		// Kill and recover.
+		recovered, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("cycle %d recovery: %v", cycle, err)
+		}
+		wantInfo, gotInfo := ref.Graphs()[0], recovered.Graphs()[0]
+		if gotInfo.Version != wantInfo.Version || gotInfo.Edges != wantInfo.Edges {
+			t.Fatalf("cycle %d: recovered version %d edges %d, reference %d/%d",
+				cycle, gotInfo.Version, gotInfo.Edges, wantInfo.Version, wantInfo.Edges)
+		}
+		want, err := ref.Enumerate(ctx, EnumerateRequest{Graph: "fig2", K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := recovered.Enumerate(ctx, EnumerateRequest{Graph: "fig2", K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Components, want.Components) {
+			t.Fatalf("cycle %d: recovered enumeration diverges:\ngot  %v\nwant %v",
+				cycle, got.Components, want.Components)
+		}
+		durable = recovered
+	}
+}
+
+// TestChaosEnumerateFaultSurfaces: an injected enumeration failure must
+// surface to the caller as an error (not a silently wrong or empty
+// result) and be visible in the stats' failpoint counters.
+func TestChaosEnumerateFaultSurfaces(t *testing.T) {
+	s := testServer(Config{})
+	ctx := context.Background()
+	armServerFailpoints(t, "server/enumerate=error")
+
+	_, err := s.Enumerate(ctx, EnumerateRequest{Graph: "fig2", K: 3})
+	if err == nil {
+		t.Fatal("enumeration with an injected fault returned a result")
+	}
+	if !failpoint.IsInjected(err) {
+		t.Fatalf("fault lost its identity on the way out: %v", err)
+	}
+	st := s.Stats()
+	if st.Admission == nil || st.Admission.FailpointTrips == 0 {
+		t.Fatalf("injected fault invisible in stats: %+v", st.Admission)
+	}
+	if st.Admission.Failpoints["server/enumerate"] == 0 {
+		t.Fatalf("per-point counter missing: %+v", st.Admission.Failpoints)
+	}
+
+	// Disarming restores clean service.
+	failpoint.Deactivate("server/enumerate")
+	res, err := s.Enumerate(ctx, EnumerateRequest{Graph: "fig2", K: 3})
+	if err != nil {
+		t.Fatalf("enumerate after disarm: %v", err)
+	}
+	if len(res.Components) != 2 {
+		t.Fatalf("disarmed enumerate returned %d components, want 2", len(res.Components))
+	}
+}

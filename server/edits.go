@@ -45,12 +45,31 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 			ErrBadRequest, maxEditBatch, len(req.Inserts)+len(req.Deletes))
 	}
 	begin := time.Now()
+	// Edits are the scarcest cost class: a single permit serializes them
+	// with backpressure (waiters queue bounded, then shed) instead of
+	// letting an edit storm pile up on editMu unbounded.
+	release, err := s.admit(ctx, classEdit, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	s.editMu.Lock()
 	defer s.editMu.Unlock()
 
 	entry, err := s.lookup(req.Graph)
 	if err != nil {
 		return nil, err
+	}
+
+	// A keyed batch the server has already applied is answered from the
+	// replay table — never applied twice. The check sits under editMu so a
+	// retry racing its original observes the stored response, not a
+	// half-applied batch.
+	if req.IdempotencyKey != "" {
+		if replay, ok := s.lookupIdem(req.Graph, req.IdempotencyKey); ok {
+			s.adm.countReplay()
+			return replay, nil
+		}
 	}
 
 	// Materialize the graph's overlay on first edit: registration keeps
@@ -104,6 +123,9 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 		resp.Edges = entry.g.NumEdges()
 		resp.IndexRepair = "none"
 		resp.ElapsedMS = float64(time.Since(begin)) / float64(time.Millisecond)
+		if req.IdempotencyKey != "" {
+			s.storeIdem(req.Graph, req.IdempotencyKey, resp)
+		}
 		return resp, nil
 	}
 
@@ -129,7 +151,8 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 		NewVersion:  delta.Version(),
 		Inserts:     req.Inserts,
 		Deletes:     req.Deletes,
-	})
+		Key:         req.IdempotencyKey,
+	}, g2)
 
 	// Install the new snapshot under a fresh generation. Every registry
 	// mutation (Edits, AddGraph, RemoveGraph) serializes on editMu, so
@@ -187,6 +210,9 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 	resp.CacheKept = kept
 	resp.CacheInvalidated = len(dropped)
 	resp.ElapsedMS = float64(time.Since(begin)) / float64(time.Millisecond)
+	if req.IdempotencyKey != "" {
+		s.storeIdem(req.Graph, req.IdempotencyKey, resp)
+	}
 	return resp, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // API routes served by Handler. The Client uses the same constants.
@@ -165,9 +166,23 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET "+PathHealth, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// A draining server reports unhealthy so load balancers stop
+		// routing to it while in-flight requests finish.
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	// Tenant attribution wraps every route: the X-API-Key header (when
+	// present) becomes the identity per-tenant quotas charge requests to.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if key := r.Header.Get("X-API-Key"); key != "" {
+			r = r.WithContext(WithTenant(r.Context(), key))
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // maxRequestBytes caps query request bodies; those request types are a
@@ -220,6 +235,14 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any, limit int64) bo
 
 func respond(w http.ResponseWriter, body any, err error) {
 	if err != nil {
+		// A shed request carries the server's backoff hint as a standard
+		// Retry-After header (whole seconds, rounded up) so any HTTP
+		// client — not just this package's — can honor it.
+		var oe *OverloadError
+		if errors.As(err, &oe) && oe.RetryAfter > 0 {
+			secs := int((oe.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 		writeError(w, statusFor(err), err)
 		return
 	}
@@ -240,6 +263,15 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		// Shed by admission control: 429 asks the client to back off and
+		// retry here; a draining server answers 503 — it is going away,
+		// and the retry belongs on another replica.
+		var oe *OverloadError
+		if errors.As(err, &oe) && oe.Draining {
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.Canceled):
 		return statusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):

@@ -1,0 +1,74 @@
+package server
+
+// Idempotency keys make Edits safe to retry: a client stamps each batch
+// with a unique key, and a batch whose key the server has already applied
+// is answered from the replay table — marked Replayed — instead of being
+// applied a second time. Without the key, a retry of an acknowledged-but-
+// lost response could interleave with other writers and re-apply edits
+// the graph has since moved past.
+//
+// The table is per graph and bounded: the oldest keys fall off once a
+// graph has seen maxIdemKeys keyed batches. An evicted key makes a very
+// late retry re-apply rather than replay — the window is deliberately
+// sized far past any sane client retry horizon. Keys survive restarts
+// through the WAL (each logged batch carries its key) and, across
+// checkpoints, through the store's idempotency retention file; a key
+// recovered that way replays with a minimal response (version and
+// Replayed only — the original counts died with the process).
+
+// idemTable is one graph's bounded key → response map, insertion-ordered
+// for eviction.
+type idemTable struct {
+	entries map[string]*EditsResponse
+	order   []string
+}
+
+// maxIdemKeys bounds one graph's replay table.
+const maxIdemKeys = 1024
+
+// lookupIdem returns the replay response for a previously applied key:
+// a copy of the stored response with Replayed set.
+func (s *Server) lookupIdem(graphName, key string) (*EditsResponse, bool) {
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	t := s.idem[graphName]
+	if t == nil {
+		return nil, false
+	}
+	stored, ok := t.entries[key]
+	if !ok {
+		return nil, false
+	}
+	cp := *stored
+	cp.Replayed = true
+	return &cp, true
+}
+
+// storeIdem records one applied keyed batch's response for future
+// replays, evicting the oldest keys past the bound.
+func (s *Server) storeIdem(graphName, key string, resp *EditsResponse) {
+	cp := *resp
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	t := s.idem[graphName]
+	if t == nil {
+		t = &idemTable{entries: make(map[string]*EditsResponse)}
+		s.idem[graphName] = t
+	}
+	if _, dup := t.entries[key]; !dup {
+		t.order = append(t.order, key)
+	}
+	t.entries[key] = &cp
+	for len(t.order) > maxIdemKeys {
+		delete(t.entries, t.order[0])
+		t.order = t.order[1:]
+	}
+}
+
+// dropIdem forgets a graph's replay table when the graph is removed or
+// replaced wholesale — the keys belong to the retired lineage.
+func (s *Server) dropIdem(graphName string) {
+	s.idemMu.Lock()
+	delete(s.idem, graphName)
+	s.idemMu.Unlock()
+}

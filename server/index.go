@@ -262,8 +262,16 @@ func (s *Server) Hierarchy(ctx context.Context, req HierarchyRequest) (*Hierarch
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	ctx, cancel, err := s.requestContext(ctx, req.TimeoutMillis)
+	if err != nil {
+		return nil, err
+	}
 	defer cancel()
+	release, err := s.admit(ctx, classCheap, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	ix, err := s.indexFor(ctx, req.Graph, m)
 	if err != nil {
 		return nil, err
@@ -308,8 +316,16 @@ func (s *Server) Cohesion(ctx context.Context, req CohesionRequest) (*CohesionRe
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	ctx, cancel, err := s.requestContext(ctx, req.TimeoutMillis)
+	if err != nil {
+		return nil, err
+	}
 	defer cancel()
+	release, err := s.admit(ctx, classCheap, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	ix, err := s.indexFor(ctx, req.Graph, m)
 	if err != nil {
 		return nil, err
@@ -349,8 +365,16 @@ func (s *Server) EnumerateBatch(ctx context.Context, req BatchEnumerateRequest) 
 		return nil, fmt.Errorf("%w: at most %d values of k per batch, got %d",
 			ErrBadRequest, maxBatchKs, len(req.Ks))
 	}
-	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	ctx, cancel, err := s.requestContext(ctx, req.TimeoutMillis)
+	if err != nil {
+		return nil, err
+	}
 	defer cancel()
+	release, err := s.admit(ctx, classCheap, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 
 	resp := &BatchEnumerateResponse{
 		Graph:     req.Graph,

@@ -85,6 +85,17 @@ func Open(cfg Config) (*Server, error) {
 			s.persist.TornTails++
 		}
 		s.storeMu.Unlock()
+
+		// Re-arm replay protection: every idempotency key the store knows
+		// was applied (from the WAL and the retention file) seeds the
+		// graph's replay table with a minimal response — version and
+		// Replayed only, since the original edit counts died with the old
+		// process. A retry of a pre-crash batch then replays instead of
+		// re-applying on top of state that already includes it.
+		for key, ver := range st.IdempotencyKeys() {
+			s.storeIdem(name, key, &EditsResponse{Graph: name, Version: ver})
+		}
+
 		s.recoverIndex(name, entry, st)
 	}
 	return s, nil
@@ -177,14 +188,27 @@ func (s *Server) persistNewGraph(name string, g *graph.Graph) {
 // persistEdits durably logs one edit batch, reporting whether the batch is
 // on disk. Called before the new generation is installed: a batch the
 // client will see acknowledged must already be recoverable.
-func (s *Server) persistEdits(name string, b store.Batch) bool {
+//
+// A failed WAL append does not immediately give up on durability: the
+// post-batch snapshot g is checkpointed instead, which both recovers this
+// batch's durability and re-syncs the store's version chain so the next
+// append is acceptable again (store.Append refuses out-of-chain batches).
+// Only when the checkpoint also fails is the batch reported unpersisted.
+func (s *Server) persistEdits(name string, b store.Batch, g *graph.Graph) bool {
 	st := s.storeFor(name)
 	if st == nil {
 		return false
 	}
 	if err := st.Append(b); err != nil {
 		s.notePersistError("wal append for "+name, err)
-		return false
+		if cerr := st.Checkpoint(g, b.NewVersion); cerr != nil {
+			s.notePersistError("recovery checkpoint for "+name, cerr)
+			return false
+		}
+		s.storeMu.Lock()
+		s.persist.Checkpoints++
+		s.storeMu.Unlock()
+		return true
 	}
 	s.storeMu.Lock()
 	s.persist.WALAppends++

@@ -167,8 +167,16 @@ func (s *Server) Profile(ctx context.Context, req ProfileRequest) (*ProfileRespo
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	ctx, cancel, err := s.requestContext(ctx, req.TimeoutMillis)
+	if err != nil {
+		return nil, err
+	}
 	defer cancel()
+	release, err := s.admit(ctx, classCheap, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 
 	data, cached := s.profileFor(req.Graph, entry)
 	resp := data // copy; the cached value stays pristine

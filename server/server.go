@@ -31,7 +31,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -39,6 +41,7 @@ import (
 	"kvcc/cohesion"
 	"kvcc/graph"
 	"kvcc/graphio"
+	"kvcc/internal/failpoint"
 	"kvcc/store"
 )
 
@@ -119,6 +122,44 @@ type Config struct {
 	// checkpointing beyond the initial registration snapshot, leaving the
 	// WAL to grow; 0 selects the default.
 	CheckpointEvery int
+	// MaxInflight caps concurrently running expensive work — cold
+	// enumerations that miss both the index and the cache (default
+	// max(2, GOMAXPROCS)). Arrivals past the cap queue (bounded, see
+	// AdmissionQueue) and are shed with an OverloadError once the queue
+	// or its deadline overflows.
+	MaxInflight int
+	// MaxInflightCheap caps concurrent request goroutines of any kind —
+	// cache/index reads, stats, derived post-processing (default 1024).
+	// Its job is bounding goroutines and memory under a request flood,
+	// not scheduling: cheap requests almost never queue.
+	MaxInflightCheap int
+	// AdmissionQueue bounds how many requests may wait for a permit in
+	// each cost class (default 4×MaxInflight). The queue is the burst
+	// absorber; past it, requests are shed immediately with 429.
+	AdmissionQueue int
+	// QueueTimeout bounds how long an admitted-to-queue request waits for
+	// a permit before being shed (default 2s). Keeping it well below
+	// RequestTimeout means a shed request still has budget to act on the
+	// Retry-After hint.
+	QueueTimeout time.Duration
+	// ShedLatency is the adaptive-shedding trip point: when the p95 queue
+	// wait of the expensive class exceeds it, new arrivals that would
+	// queue are shed up front instead (default QueueTimeout/2; negative
+	// disables the breaker). The no-wait fast path stays open, so the
+	// breaker closes itself as soon as capacity frees up.
+	ShedLatency time.Duration
+	// QuotaRPS enables per-tenant token-bucket quotas at this sustained
+	// request rate (default 0: no quotas). The tenant is the request's
+	// X-API-Key when present, else a per-graph bucket.
+	QuotaRPS float64
+	// QuotaBurst is the token-bucket burst size (default 2×QuotaRPS+1;
+	// only meaningful with QuotaRPS set).
+	QuotaBurst int
+	// MaxTimeout is the ceiling a client's timeout_ms is clamped to
+	// (default RequestTimeout). Absurd values are clamped, not rejected —
+	// the request proceeds under the ceiling and the clamp is counted in
+	// AdmissionStats.TimeoutsClamped; negative timeout_ms is rejected.
+	MaxTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +178,27 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 32
 	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+		if c.MaxInflight < 2 {
+			c.MaxInflight = 2
+		}
+	}
+	if c.MaxInflightCheap <= 0 {
+		c.MaxInflightCheap = 1024
+	}
+	if c.AdmissionQueue <= 0 {
+		c.AdmissionQueue = 4 * c.MaxInflight
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.ShedLatency == 0 {
+		c.ShedLatency = c.QueueTimeout / 2
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = c.RequestTimeout
+	}
 	return c
 }
 
@@ -147,6 +209,7 @@ type Server struct {
 	cfg    Config
 	cache  *resultCache
 	flight *flightGroup
+	adm    *admission
 	start  time.Time
 	engine kvcc.FlowEngine // parsed from cfg.FlowEngine at New
 
@@ -196,6 +259,11 @@ type Server struct {
 	storeMu sync.Mutex
 	stores  map[string]*store.Store
 	persist PersistStats
+
+	// idemMu guards idem, the per-graph idempotency-key replay tables
+	// (see idempotency.go). Leaf lock: never held while taking another.
+	idemMu sync.Mutex
+	idem   map[string]*idemTable
 }
 
 // graphEntry pairs a registered graph with the generation of the AddGraph
@@ -312,6 +380,7 @@ func New(cfg Config) *Server {
 		cfg:           cfg,
 		cache:         newResultCache(cfg.CacheSize),
 		flight:        newFlightGroup(),
+		adm:           newAdmission(cfg),
 		start:         time.Now(),
 		engine:        engine,
 		indexMeasures: measures,
@@ -321,7 +390,27 @@ func New(cfg Config) *Server {
 		indexes:       make(map[indexKey]*graphIndex),
 		measureStats:  make(map[cohesion.Measure]*MeasureCounters),
 		stores:        make(map[string]*store.Store),
+		idem:          make(map[string]*idemTable),
 	}
+}
+
+// BeginDrain flips the server into graceful-shutdown mode: every new
+// admission is refused with a draining OverloadError (HTTP 503) while
+// requests already in flight run to completion. Irreversible by design —
+// a draining server is on its way out.
+func (s *Server) BeginDrain() { s.adm.beginDrain() }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.adm.isDraining() }
+
+// admit runs one request through the admission ladder: the per-tenant
+// quota first, then a cost-class permit held (via the returned release)
+// for the request's lifetime.
+func (s *Server) admit(ctx context.Context, cls costClass, graphName string) (release func(), err error) {
+	if err := s.adm.checkQuota(tenantFrom(ctx, graphName)); err != nil {
+		return nil, err
+	}
+	return s.adm.acquire(ctx, cls)
 }
 
 // countMeasure ticks one per-measure serving-ladder counter.
@@ -362,6 +451,7 @@ func (s *Server) AddGraph(name string, g *graph.Graph) {
 	if replaced {
 		s.cache.invalidateGraph(name)
 		s.dropSeeds(name)
+		s.dropIdem(name)
 	}
 	if s.cfg.BuildIndex {
 		s.resetIndex(name, entry)
@@ -394,6 +484,7 @@ func (s *Server) RemoveGraph(name string) bool {
 	}
 	s.cache.invalidateGraph(name)
 	s.dropSeeds(name)
+	s.dropIdem(name)
 	s.invalidateIndex(name)
 	s.dropProfile(name)
 	s.dropStore(name)
@@ -454,16 +545,24 @@ func (s *Server) lookup(name string) (graphEntry, error) {
 	return e, nil
 }
 
-// requestContext derives the context that bounds one request's wait:
-// the client's override (capped at the server ceiling) or the default.
-func (s *Server) requestContext(ctx context.Context, timeoutMillis int64) (context.Context, context.CancelFunc) {
+// requestContext derives the context that bounds one request's wait: the
+// client's override or the default, never past Config.MaxTimeout. An
+// over-the-ceiling override is clamped (and counted) rather than
+// rejected; a negative one is a malformed request and rejected outright.
+func (s *Server) requestContext(ctx context.Context, timeoutMillis int64) (context.Context, context.CancelFunc, error) {
+	if timeoutMillis < 0 {
+		return nil, nil, fmt.Errorf("%w: negative timeout_ms %d", ErrBadRequest, timeoutMillis)
+	}
 	timeout := s.cfg.RequestTimeout
 	if timeoutMillis > 0 {
-		if d := time.Duration(timeoutMillis) * time.Millisecond; d < timeout {
-			timeout = d
+		timeout = time.Duration(timeoutMillis) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+			s.adm.countClamped()
 		}
 	}
-	return context.WithTimeout(ctx, timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, cancel, nil
 }
 
 // resultSource identifies which rung of the serving ladder answered a
@@ -476,6 +575,10 @@ const (
 	srcCache
 	srcDeduped
 	srcIndex
+	// srcDegraded marks a previous-generation result served because fresh
+	// compute could not fit the request's deadline budget or was shed by
+	// admission control. Degraded results are never cached.
+	srcDegraded
 )
 
 // result is the heart of the server: a serving ladder of hierarchy index,
@@ -514,6 +617,15 @@ func (s *Server) result(ctx context.Context, graphName string, k int, m cohesion
 		return res, srcCache, nil
 	}
 
+	// Deadline budget: when the remaining budget provably cannot fit a
+	// fresh enumeration (per-key EWMA cost estimate), skip the doomed
+	// compute and serve the previous generation's result marked degraded
+	// instead of timing out with nothing.
+	if res := s.degradedFor(ctx, key); res != nil {
+		s.adm.countDegraded()
+		return res, srcDegraded, nil
+	}
+
 	// Double-check inside the flight: this caller may have missed the
 	// cache above and then won the flight race only after a previous
 	// leader already stored the result. lateHit is only written by this
@@ -525,9 +637,28 @@ func (s *Server) result(ctx context.Context, graphName string, k int, m cohesion
 			lateHit = true
 			return r, nil
 		}
+		// The expensive permit is taken by the flight leader, on a context
+		// detached from any request (the leader outlives its requesters by
+		// design); the wait is bounded by QueueTimeout alone. A shed here
+		// propagates to every deduped waiter, each of which falls back to
+		// its own degraded rung below.
+		release, aerr := s.adm.acquire(context.Background(), classExpensive)
+		if aerr != nil {
+			return nil, aerr
+		}
+		defer release()
 		return s.enumerate(key, entry.g)
 	})
 	if err != nil {
+		// Graceful degradation: a shed or out-of-deadline request can
+		// still be answered — one generation stale, and saying so — when
+		// an edit left the previous generation's result behind.
+		if errors.Is(err, ErrOverloaded) || errors.Is(err, context.DeadlineExceeded) {
+			if res := s.previousResult(key); res != nil {
+				s.adm.countDegraded()
+				return res, srcDegraded, nil
+			}
+		}
 		return nil, srcComputed, err
 	}
 	if lateHit {
@@ -540,11 +671,47 @@ func (s *Server) result(ctx context.Context, graphName string, k int, m cohesion
 	return res, srcComputed, nil
 }
 
+// estimateKey addresses the per-query EWMA cost estimate: enumeration
+// cost varies by graph, measure and k, so all three are in the key.
+func estimateKey(key cacheKey) string {
+	return key.graph + "/" + key.measure.String() + "/" + strconv.Itoa(key.k)
+}
+
+// previousResult returns the previous-generation result for key's query,
+// if an edit batch retained one (the incremental-seed table holds exactly
+// the last Result computed before the current generation invalidated it).
+// Only the kvcc measure retains seeds; nil otherwise.
+func (s *Server) previousResult(key cacheKey) *kvcc.Result {
+	if key.measure != kvcc.MeasureKVCC {
+		return nil
+	}
+	return s.peekSeed(prevKey{graph: key.graph, k: key.k, algo: key.algo})
+}
+
+// degradedFor decides up front whether fresh compute fits the request's
+// deadline budget: with a cost estimate on record and less remaining
+// budget than it predicts, the previous-generation result (if any) is the
+// best answer the deadline allows.
+func (s *Server) degradedFor(ctx context.Context, key cacheKey) *kvcc.Result {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	est, ok := s.adm.estimateMS(estimateKey(key))
+	if !ok || float64(time.Until(dl))/float64(time.Millisecond) >= est {
+		return nil
+	}
+	return s.previousResult(key)
+}
+
 // enumerate runs one cache-filling enumeration as the flight leader, on a
 // context detached from any request, and records latency metrics.
 func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 	if testHookEnumerateStarted != nil {
 		testHookEnumerateStarted()
+	}
+	if err := failpoint.Eval("server/enumerate"); err != nil {
+		return nil, err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ComputeTimeout)
 	defer cancel()
@@ -593,6 +760,10 @@ func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 		s.enum.MaxMS = ms
 	}
 	s.statsMu.Unlock()
+	// Feed the admission layer's cost model: the estimate drives budget
+	// pre-checks and Retry-After hints. Timed-out runs count too — they
+	// are exactly the evidence that this key cannot fit small budgets.
+	s.adm.noteServiceMS(estimateKey(key), ms)
 
 	if err != nil {
 		return nil, err
@@ -632,8 +803,16 @@ func (s *Server) Enumerate(ctx context.Context, req EnumerateRequest) (*Enumerat
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	ctx, cancel, err := s.requestContext(ctx, req.TimeoutMillis)
+	if err != nil {
+		return nil, err
+	}
 	defer cancel()
+	release, err := s.admit(ctx, classCheap, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 
 	begin := time.Now()
 	res, src, err := s.result(ctx, req.Graph, req.K, m, algo)
@@ -656,6 +835,7 @@ func buildEnumerateResponse(graphName string, k int, m cohesion.Measure, algo kv
 		Cached:      src == srcCache,
 		Deduped:     src == srcDeduped,
 		IndexServed: src == srcIndex,
+		Degraded:    src == srcDegraded,
 		ElapsedMS:   float64(time.Since(begin)) / float64(time.Millisecond),
 		Components:  wireComponents(res.Components, includeMetrics),
 		Stats:       res.Stats,
@@ -678,8 +858,16 @@ func (s *Server) ComponentsContaining(ctx context.Context, req ContainingRequest
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	ctx, cancel, err := s.requestContext(ctx, req.TimeoutMillis)
+	if err != nil {
+		return nil, err
+	}
 	defer cancel()
+	release, err := s.admit(ctx, classCheap, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 
 	res, src, err := s.result(ctx, req.Graph, req.K, m, algo)
 	if err != nil {
@@ -697,6 +885,7 @@ func (s *Server) ComponentsContaining(ctx context.Context, req ContainingRequest
 		Algorithm:   wireAlgorithm(m, algo),
 		Cached:      src == srcCache,
 		IndexServed: src == srcIndex,
+		Degraded:    src == srcDegraded,
 		Vertex:      req.Vertex,
 		Indices:     indices,
 		Components:  comps,
@@ -714,8 +903,16 @@ func (s *Server) Overlap(ctx context.Context, req OverlapRequest) (*OverlapRespo
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := s.requestContext(ctx, req.TimeoutMillis)
+	ctx, cancel, err := s.requestContext(ctx, req.TimeoutMillis)
+	if err != nil {
+		return nil, err
+	}
 	defer cancel()
+	release, err := s.admit(ctx, classCheap, req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 
 	res, src, err := s.result(ctx, req.Graph, req.K, m, algo)
 	if err != nil {
@@ -728,6 +925,7 @@ func (s *Server) Overlap(ctx context.Context, req OverlapRequest) (*OverlapRespo
 		Algorithm:   wireAlgorithm(m, algo),
 		Cached:      src == srcCache,
 		IndexServed: src == srcIndex,
+		Degraded:    src == srcDegraded,
 		Matrix:      res.OverlapMatrix(),
 	}, nil
 }
@@ -746,12 +944,16 @@ func (s *Server) Stats() *StatsResponse {
 	}
 	s.statsMu.Unlock()
 	enum.Deduped = s.flight.dedupedCount()
+	adm := s.adm.snapshot()
+	adm.FailpointTrips = failpoint.TotalTrips()
+	adm.Failpoints = failpoint.Snapshot()
 	return &StatsResponse{
 		Graphs:       s.Graphs(),
 		Cache:        s.cache.stats(),
 		Enumerations: enum,
 		Indexes:      s.indexInfos(),
 		Persistence:  s.persistStats(),
+		Admission:    adm,
 		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
 	}
 }

@@ -1,0 +1,370 @@
+//go:build failpoint
+
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kvcc/graph"
+	"kvcc/internal/difftest"
+	"kvcc/internal/failpoint"
+)
+
+// Chaos battery for the durability layer: every test arms one or more of
+// the store's failpoints, drives the store through the fault, then
+// "crashes" (reopens without Close) and asserts the recovered graph is
+// byte-identical to the acknowledged state. Build with -tags failpoint.
+
+// armFailpoints activates a spec and guarantees a clean slate afterwards,
+// so later tests (chaos or not) observe zero trips.
+func armFailpoints(t *testing.T, spec string) {
+	t.Helper()
+	if err := failpoint.ActivateSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(failpoint.Reset)
+}
+
+// TestChaosWALSyncFailureRetry injects probabilistic fsync failures into
+// the WAL and retries each refused batch. The rewind after a failed sync
+// makes every failure clean — the batch is provably not on disk, the
+// chain is intact — so a retry of the same batch must eventually land,
+// and recovery must reproduce exactly the acknowledged sequence.
+func TestChaosWALSyncFailureRetry(t *testing.T) {
+	base := difftest.Corpus()[0].G
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(base, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	failpoint.SeedAll(0x5eed)
+	armFailpoints(t, "store/wal-sync=error(0.4)")
+
+	delta := graph.NewDeltaAt(base, 1)
+	injected := 0
+	for i := 0; i < 30; i++ {
+		prev := delta.Version()
+		ins := [][2]int64{{int64(9000 + i), int64(9100 + i)}}
+		delta.InsertEdge(ins[0][0], ins[0][1])
+		b := Batch{PrevVersion: prev, NewVersion: delta.Version(), Inserts: ins}
+		landed := false
+		for attempt := 0; attempt < 200; attempt++ {
+			err := st.Append(b)
+			if err == nil {
+				landed = true
+				break
+			}
+			if !failpoint.IsInjected(err) {
+				t.Fatalf("batch %d: non-injected append failure: %v", i, err)
+			}
+			injected++
+		}
+		if !landed {
+			t.Fatalf("batch %d never landed in 200 attempts", i)
+		}
+	}
+	if injected == 0 {
+		t.Fatal("failpoint never fired: the test exercised nothing")
+	}
+	want := delta.Compact()
+	wantVersion := delta.Version()
+	failpoint.Reset()
+	// Crash: no Close.
+
+	st2, err := Open(dir, Options{VerifyOnOpen: true})
+	if err != nil {
+		t.Fatalf("recovery after %d injected sync failures: %v", injected, err)
+	}
+	defer st2.Close()
+	g, version, ok := st2.Graph()
+	if !ok || version != wantVersion {
+		t.Fatalf("recovered version %d (ok=%v), want %d", version, ok, wantVersion)
+	}
+	if replayed, torn := st2.Replayed(); replayed != 30 || torn {
+		t.Fatalf("replayed=%d torn=%v, want 30, false", replayed, torn)
+	}
+	sameGraph(t, g, want)
+}
+
+// TestChaosTornWALTail crashes mid-append: the torn record must be
+// detected, truncated away, and the store must come back at the last
+// acknowledged version.
+func TestChaosTornWALTail(t *testing.T) {
+	base := difftest.Corpus()[1].G
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	delta := graph.NewDeltaAt(base, 1)
+	prev := delta.Version()
+	delta.InsertEdge(7001, 7002)
+	if err := st.Append(Batch{PrevVersion: prev, NewVersion: delta.Version(), Inserts: [][2]int64{{7001, 7002}}}); err != nil {
+		t.Fatal(err)
+	}
+	ackedVersion := delta.Version()
+	acked := delta.Compact()
+
+	armFailpoints(t, "store/wal-torn=error")
+	err = st.Append(Batch{PrevVersion: ackedVersion, NewVersion: ackedVersion + 1, Inserts: [][2]int64{{7002, 7003}}})
+	if !failpoint.IsInjected(err) {
+		t.Fatalf("torn append: err = %v, want injected", err)
+	}
+	// The dying process's log is broken; nothing further may be acked.
+	if err := st.Append(Batch{PrevVersion: ackedVersion, NewVersion: ackedVersion + 1}); err == nil {
+		t.Fatal("append on a broken log succeeded")
+	}
+	failpoint.Reset()
+	// Crash with the partial record on disk.
+
+	st2, err := Open(dir, Options{VerifyOnOpen: true})
+	if err != nil {
+		t.Fatalf("recovery from a torn tail: %v", err)
+	}
+	defer st2.Close()
+	g, version, _ := st2.Graph()
+	if version != ackedVersion {
+		t.Fatalf("recovered version %d, want %d (the torn batch was never acked)", version, ackedVersion)
+	}
+	if replayed, torn := st2.Replayed(); replayed != 1 || !torn {
+		t.Fatalf("replayed=%d torn=%v, want 1, true", replayed, torn)
+	}
+	sameGraph(t, g, acked)
+
+	// The truncation must be real: a further append chains cleanly.
+	d2 := graph.NewDeltaAt(g, version)
+	d2.InsertEdge(7002, 7003)
+	if err := st2.Append(Batch{PrevVersion: version, NewVersion: d2.Version(), Inserts: [][2]int64{{7002, 7003}}}); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+}
+
+// TestChaosSnapshotWriteFailure fails a checkpoint before any byte lands:
+// the WAL must keep carrying the batches and recovery must replay them.
+func TestChaosSnapshotWriteFailure(t *testing.T) {
+	base := difftest.Corpus()[2].G
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	delta := graph.NewDeltaAt(base, 1)
+	prev := delta.Version()
+	delta.InsertEdge(8001, 8002)
+	if err := st.Append(Batch{PrevVersion: prev, NewVersion: delta.Version(), Inserts: [][2]int64{{8001, 8002}}}); err != nil {
+		t.Fatal(err)
+	}
+	want := delta.Compact()
+	wantVersion := delta.Version()
+
+	armFailpoints(t, "store/snapshot-write=error")
+	if err := st.Checkpoint(want, wantVersion); !failpoint.IsInjected(err) {
+		t.Fatalf("checkpoint with snapshot-write armed: err = %v, want injected", err)
+	}
+	if st.Pending() != 1 {
+		t.Fatalf("failed checkpoint consumed the WAL: pending = %d", st.Pending())
+	}
+	failpoint.Reset()
+
+	st2, err := Open(dir, Options{VerifyOnOpen: true})
+	if err != nil {
+		t.Fatalf("recovery after failed checkpoint: %v", err)
+	}
+	defer st2.Close()
+	g, version, _ := st2.Graph()
+	if version != wantVersion {
+		t.Fatalf("recovered version %d, want %d", version, wantVersion)
+	}
+	sameGraph(t, g, want)
+}
+
+// TestChaosSnapshotSyncLeavesTemp crashes a checkpoint between the temp
+// write and the rename — exactly what a dead process leaves behind. The
+// real snapshot must be untouched and the next open must sweep the temp.
+func TestChaosSnapshotSyncLeavesTemp(t *testing.T) {
+	base := difftest.Corpus()[3].G
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	delta := graph.NewDeltaAt(base, 1)
+	prev := delta.Version()
+	delta.InsertEdge(8101, 8102)
+	if err := st.Append(Batch{PrevVersion: prev, NewVersion: delta.Version(), Inserts: [][2]int64{{8101, 8102}}}); err != nil {
+		t.Fatal(err)
+	}
+	want := delta.Compact()
+	wantVersion := delta.Version()
+
+	armFailpoints(t, "store/snapshot-sync=error")
+	if err := st.Checkpoint(want, wantVersion); !failpoint.IsInjected(err) {
+		t.Fatalf("checkpoint with snapshot-sync armed: err = %v, want injected", err)
+	}
+	tmp := filepath.Join(dir, snapshotName+tmpSuffix)
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("crashed checkpoint left no temp file: %v", err)
+	}
+	failpoint.Reset()
+
+	st2, err := Open(dir, Options{VerifyOnOpen: true})
+	if err != nil {
+		t.Fatalf("recovery with a stale temp: %v", err)
+	}
+	defer st2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("recovery did not sweep the temp snapshot: %v", err)
+	}
+	g, version, _ := st2.Graph()
+	if version != wantVersion {
+		t.Fatalf("recovered version %d, want %d", version, wantVersion)
+	}
+	sameGraph(t, g, want)
+}
+
+// TestChaosMmapFailure: a failed snapshot mapping must fail Open loudly —
+// serving without the snapshot would silently lose the graph.
+func TestChaosMmapFailure(t *testing.T) {
+	base := difftest.Corpus()[0].G
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(base, 1); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	armFailpoints(t, "store/mmap=error")
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded with the snapshot mapping failing")
+	}
+	failpoint.Reset()
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after disarming mmap failpoint: %v", err)
+	}
+	st2.Close()
+}
+
+// TestChaosKillRecoverCycles is the randomized end-to-end battery: many
+// kill-and-recover cycles under probabilistic WAL and snapshot faults,
+// with a deterministic schedule (seeded PRNG on both sides). Invariants
+// per cycle: recovery never errors, the recovered version equals the last
+// acknowledged one, the graph is byte-identical to the reference overlay,
+// and the version chain stays appendable.
+func TestChaosKillRecoverCycles(t *testing.T) {
+	base := difftest.Corpus()[4].G
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(42))
+	t.Cleanup(failpoint.Reset)
+
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(base, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference overlay lives across cycles: it records exactly the
+	// acknowledged batches, nothing else.
+	ref := graph.NewDeltaAt(base, 1)
+	lastKey := ""
+	label := int64(20000)
+	injected := 0
+
+	for cycle := 0; cycle < 6; cycle++ {
+		failpoint.SeedAll(uint64(1000 + cycle))
+		if err := failpoint.ActivateSpec("store/wal-sync=error(0.3);store/snapshot-write=error(0.3)"); err != nil {
+			t.Fatal(err)
+		}
+
+		for i := 0; i < 8; i++ {
+			prev := ref.Version()
+			var ins, del [][2]int64
+			if rng.Intn(4) == 0 && label > 20001 {
+				// Occasionally delete an edge inserted earlier.
+				v := 20000 + int64(rng.Intn(int(label-20000-1)))
+				del = [][2]int64{{v, v + 1}}
+				ref.DeleteEdge(v, v+1)
+			} else {
+				ins = [][2]int64{{label, label + 1}}
+				ref.InsertEdge(label, label+1)
+				label += 2
+			}
+			if ref.Version() == prev {
+				continue // no-op batch (delete of an already-deleted edge)
+			}
+			b := Batch{PrevVersion: prev, NewVersion: ref.Version(), Inserts: ins, Deletes: del}
+			if rng.Intn(3) == 0 {
+				b.Key = string(rune('a'+cycle)) + "-" + string(rune('0'+i))
+			}
+			landed := false
+			for attempt := 0; attempt < 300; attempt++ {
+				err := st.Append(b)
+				if err == nil {
+					landed = true
+					break
+				}
+				if !failpoint.IsInjected(err) {
+					t.Fatalf("cycle %d batch %d: non-injected failure: %v", cycle, i, err)
+				}
+				injected++
+			}
+			if !landed {
+				t.Fatalf("cycle %d batch %d never landed", cycle, i)
+			}
+			if b.Key != "" {
+				lastKey = b.Key
+			}
+			// Occasionally checkpoint; an injected snapshot failure is fine
+			// — the WAL still carries everything.
+			if rng.Intn(4) == 0 {
+				if err := st.Checkpoint(ref.Compact(), ref.Version()); err != nil && !failpoint.IsInjected(err) {
+					t.Fatalf("cycle %d: non-injected checkpoint failure: %v", cycle, err)
+				}
+			}
+		}
+
+		failpoint.Reset()
+		// Kill: reopen without Close.
+		st2, err := Open(dir, Options{VerifyOnOpen: true})
+		if err != nil {
+			t.Fatalf("cycle %d recovery: %v", cycle, err)
+		}
+		g, version, ok := st2.Graph()
+		if !ok || version != ref.Version() {
+			t.Fatalf("cycle %d: recovered version %d (ok=%v), want %d", cycle, version, ok, ref.Version())
+		}
+		sameGraph(t, g, ref.Compact())
+		if lastKey != "" {
+			if v, found := st2.IdempotencyKeys()[lastKey]; !found || v == 0 {
+				t.Fatalf("cycle %d: key %q lost across recovery", cycle, lastKey)
+			}
+		}
+		st = st2
+	}
+	st.Close()
+	if injected == 0 {
+		t.Fatal("no fault ever fired across 6 cycles: the battery exercised nothing")
+	}
+	t.Logf("survived %d injected faults across 6 kill-recover cycles", injected)
+}

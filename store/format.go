@@ -35,6 +35,7 @@ const (
 	indexName      = "index.kvcc"
 	indexNameKECC  = "index.kecc"
 	indexNameKCore = "index.kcore"
+	idemName       = "idem.keys"
 	tmpSuffix      = ".tmp"
 )
 

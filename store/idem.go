@@ -1,0 +1,145 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Idempotency-key retention. Every keyed batch in the WAL already makes
+// its key recoverable (replay re-learns it from the record), but a
+// checkpoint truncates the WAL — and with it every key it carried. The
+// retention file bridges that gap: Checkpoint writes the store's current
+// key set alongside the snapshot, and Open seeds from it before replay
+// adds keys from the surviving WAL tail.
+//
+// Retention is deliberately best-effort. A crash between WAL truncate and
+// retention write loses keys, which only widens the replay window back to
+// "at-most-once per process lifetime plus WAL horizon" — the client-visible
+// effect is that a very unluckily timed retry after a crash re-applies
+// instead of replaying, and edge-level edits re-apply idempotently unless
+// interleaved with other writers. Durability of the graph itself never
+// depends on this file.
+//
+// File layout (little-endian): magic "KVIK", u32 count, u64 CRC64 of the
+// entry section, then per entry [u64 version][u32 keyLen][key bytes]. A
+// damaged file is ignored wholesale, never an open error.
+
+const (
+	idemMagic = 0x4b49564b // "KVIK"
+	// maxRetainedKeys bounds the retention set; the lowest-version (oldest)
+	// keys are evicted first, mirroring the server's bounded replay table.
+	maxRetainedKeys = 1024
+)
+
+// rememberKey records one applied key at the version its batch produced.
+// Caller holds s.mu.
+func (s *Store) rememberKey(key string, version uint64) {
+	if key == "" {
+		return
+	}
+	if s.idemKeys == nil {
+		s.idemKeys = make(map[string]uint64)
+	}
+	s.idemKeys[key] = version
+	if len(s.idemKeys) <= maxRetainedKeys {
+		return
+	}
+	// Evict oldest keys down to the bound.
+	type kv struct {
+		k string
+		v uint64
+	}
+	all := make([]kv, 0, len(s.idemKeys))
+	for k, v := range s.idemKeys {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	for _, e := range all[:len(all)-maxRetainedKeys] {
+		delete(s.idemKeys, e.k)
+	}
+}
+
+// IdempotencyKeys returns every idempotency key the store knows was
+// applied, with the overlay version each one produced — the seed for the
+// serving layer's replay table after recovery.
+func (s *Store) IdempotencyKeys() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.idemKeys))
+	for k, v := range s.idemKeys {
+		out[k] = v
+	}
+	return out
+}
+
+// saveIdemLocked writes the retention file atomically. Best-effort: the
+// caller ignores the error (see the package comment above).
+func (s *Store) saveIdemLocked() error {
+	path := filepath.Join(s.dir, idemName)
+	if len(s.idemKeys) == 0 {
+		err := os.Remove(path)
+		if err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	size := 0
+	for k := range s.idemKeys {
+		size += 12 + len(k)
+	}
+	buf := make([]byte, 16+size)
+	binary.LittleEndian.PutUint32(buf[0:4], idemMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(s.idemKeys)))
+	off := 16
+	for k, v := range s.idemKeys {
+		binary.LittleEndian.PutUint64(buf[off:], v)
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(len(k)))
+		copy(buf[off+12:], k)
+		off += 12 + len(k)
+	}
+	binary.LittleEndian.PutUint64(buf[8:16], crc64.Checksum(buf[16:], crcTable))
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	return atomicReplace(f, tmp, path)
+}
+
+// loadIdem reads the retention file into the store's key set. Any damage
+// makes the file worthless, not the store: retention is best-effort, so a
+// bad magic, short section, or CRC mismatch just drops it.
+func (s *Store) loadIdem() {
+	data, err := os.ReadFile(filepath.Join(s.dir, idemName))
+	if err != nil || len(data) < 16 {
+		return
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != idemMagic {
+		return
+	}
+	if crc64.Checksum(data[16:], crcTable) != binary.LittleEndian.Uint64(data[8:16]) {
+		return
+	}
+	count := int(binary.LittleEndian.Uint32(data[4:8]))
+	off := 16
+	for i := 0; i < count; i++ {
+		if off+12 > len(data) {
+			return
+		}
+		v := binary.LittleEndian.Uint64(data[off:])
+		keyLen := int(binary.LittleEndian.Uint32(data[off+8:]))
+		if off+12+keyLen > len(data) {
+			return
+		}
+		s.rememberKey(string(data[off+12:off+12+keyLen]), v)
+		off += 12 + keyLen
+	}
+}

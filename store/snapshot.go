@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"kvcc/graph"
+	"kvcc/internal/failpoint"
 )
 
 // Snapshot header layout (little-endian, 64 bytes):
@@ -58,6 +59,9 @@ func snapshotSize(n, m int64) int64 {
 // first and are fsync'd before a rename makes them visible, so a crash
 // mid-write can never leave a half-written file under the real name.
 func WriteSnapshot(path string, g *graph.Graph, version uint64) error {
+	if err := failpoint.Eval("store/snapshot-write"); err != nil {
+		return err
+	}
 	tmp := path + tmpSuffix
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -112,6 +116,13 @@ func WriteSnapshot(path string, g *graph.Graph, version uint64) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := failpoint.Eval("store/snapshot-sync"); err != nil {
+		// Simulated crash between writing the temp file and the rename:
+		// the temp stays behind exactly as a dead process would leave it,
+		// and the next Open must sweep it without ever serving it.
+		f.Close()
+		return err
+	}
 	return atomicReplace(f, tmp, path)
 }
 
@@ -156,6 +167,9 @@ func OpenSnapshot(path string) (*Snapshot, error) {
 			msg: fmt.Sprintf("size %d does not match header (want %d for n=%d m=%d)", info.Size(), snapshotSize(n, m), n, m)}
 	}
 
+	if err := failpoint.Eval("store/mmap"); err != nil {
+		return nil, fmt.Errorf("store: map %s: %w", path, err)
+	}
 	data, unmap, err := mapFile(f, int(info.Size()))
 	if err != nil {
 		return nil, fmt.Errorf("store: map %s: %w", path, err)

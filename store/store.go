@@ -41,6 +41,10 @@ type Store struct {
 	pending       int  // batches in the WAL since the last checkpoint
 	truncatedTail bool // Open dropped a torn/corrupt WAL tail
 	destroyed     bool
+
+	// idemKeys maps each known applied idempotency key to the overlay
+	// version its batch produced (see idem.go).
+	idemKeys map[string]uint64
 }
 
 // Open opens (creating if necessary) the store directory, recovers its
@@ -61,6 +65,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	// A crash mid-checkpoint leaves snapshot.kvcc.tmp (never renamed, so
 	// never visible as the snapshot); clean it and the index temps up.
 	os.Remove(filepath.Join(dir, snapshotName+tmpSuffix))
+	os.Remove(filepath.Join(dir, idemName+tmpSuffix))
 	for _, m := range cohesion.Measures() {
 		os.Remove(filepath.Join(dir, indexFileName(m)+tmpSuffix))
 	}
@@ -85,6 +90,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
+
+	// Seed the idempotency-key set from the retention file before replay:
+	// replay then layers on the keys of every WAL record that survived the
+	// last checkpoint.
+	s.loadIdem()
 
 	walPath := filepath.Join(dir, walName)
 	batches, goodSize, err := readWAL(walPath)
@@ -113,6 +123,11 @@ func Open(dir string, opts Options) (*Store, error) {
 func (s *Store) replay(batches []Batch) error {
 	var delta *graph.Delta
 	for i, b := range batches {
+		// Keys are learned from every intact record, including ones the
+		// snapshot already covers: a checkpoint that crashed between the
+		// snapshot write and the retention write would otherwise forget
+		// the keys of the records it folded in.
+		s.rememberKey(b.Key, b.NewVersion)
 		if b.NewVersion <= s.version {
 			continue
 		}
@@ -174,17 +189,29 @@ func (s *Store) Pending() int {
 // Append durably logs one edit batch: the record is written and fsync'd
 // before Append returns, so a batch acknowledged to a client survives
 // any crash after this point.
+//
+// The chain guard refuses a batch whose PrevVersion is not the store's
+// current version. That happens when an earlier append failed but the
+// caller kept serving (persistence degrades, never blocks): logging the
+// out-of-chain batch would plant a gap that recovery must reject, turning
+// one transient write failure into a permanently unopenable store. The
+// caller heals instead by checkpointing the current snapshot.
 func (s *Store) Append(b Batch) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.destroyed {
 		return fmt.Errorf("store: %s: destroyed", s.dir)
 	}
+	if b.PrevVersion != s.version {
+		return fmt.Errorf("store: %s: batch chains from version %d, store is at %d",
+			s.dir, b.PrevVersion, s.version)
+	}
 	if err := s.wal.append(b); err != nil {
 		return err
 	}
 	s.pending++
 	s.version = b.NewVersion
+	s.rememberKey(b.Key, b.NewVersion)
 	return nil
 }
 
@@ -205,6 +232,11 @@ func (s *Store) Checkpoint(g *graph.Graph, version uint64) error {
 	if err := WriteSnapshot(filepath.Join(s.dir, snapshotName), g, version); err != nil {
 		return err
 	}
+	// Retain the keys the truncate below is about to erase from the WAL.
+	// Best-effort by design (see idem.go); ordering before the reset keeps
+	// the crash window to "retention written, WAL not yet truncated", which
+	// replay handles by re-learning keys from the redundant records.
+	s.saveIdemLocked()
 	if err := s.wal.reset(); err != nil {
 		return err
 	}

@@ -414,7 +414,9 @@ func TestStoreStaleTmpCleanup(t *testing.T) {
 }
 
 // TestStoreRejectsBrokenChain: a WAL record whose PrevVersion does not
-// chain onto the store is damage a crash cannot produce, so Open fails.
+// chain onto the store is damage a crash cannot produce. Append refuses
+// to write one in the first place, and Open fails on a log that holds one
+// anyway (planted directly on disk here, bypassing the guard).
 func TestStoreRejectsBrokenChain(t *testing.T) {
 	base := difftest.Corpus()[0].G
 	dir := t.TempDir()
@@ -425,10 +427,20 @@ func TestStoreRejectsBrokenChain(t *testing.T) {
 	if err := st.Checkpoint(base, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Append(Batch{PrevVersion: 5, NewVersion: 6, Inserts: [][2]int64{{1, 2}}}); err != nil {
-		t.Fatal(err)
+	bad := Batch{PrevVersion: 5, NewVersion: 6, Inserts: [][2]int64{{1, 2}}}
+	if err := st.Append(bad); err == nil {
+		t.Fatal("Append accepted a batch that does not chain onto the store")
 	}
 	st.Close()
+
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(encodeBatch(bad)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
 	if _, err := Open(dir, Options{}); !IsCorrupt(err) {
 		t.Fatalf("open with non-chaining WAL: err = %v, want corruption", err)
 	}

@@ -6,6 +6,8 @@ import (
 	"hash/crc64"
 	"io"
 	"os"
+
+	"kvcc/internal/failpoint"
 )
 
 // Batch is one durably logged edit batch: the raw insert/delete lists a
@@ -19,6 +21,10 @@ type Batch struct {
 	NewVersion  uint64
 	Inserts     [][2]int64
 	Deletes     [][2]int64
+	// Key is the client's idempotency key, when the batch carried one.
+	// Logging it makes replay protection survive restarts: recovery
+	// re-learns every applied key from the records it replays.
+	Key string
 }
 
 // WAL record layout (little-endian):
@@ -30,6 +36,12 @@ type Batch struct {
 //	          prev version (u64), new version (u64)
 //	          insert count (u32), delete count (u32)
 //	          inserts, then deletes: two int64 labels each
+//	          optionally: key length (u32), idempotency key bytes
+//
+// The idempotency-key suffix is backward compatible both ways: a keyless
+// batch encodes in the original layout (payload length is exactly the
+// edit section), and the decoder accepts such records from logs written
+// before keys existed.
 //
 // Appends are a single Write followed by fsync. A crash mid-append
 // leaves a torn final record; replay detects it (short payload, bad
@@ -39,6 +51,9 @@ type Batch struct {
 // encodeBatch renders one record.
 func encodeBatch(b Batch) []byte {
 	payload := 24 + 16*(len(b.Inserts)+len(b.Deletes))
+	if b.Key != "" {
+		payload += 4 + len(b.Key)
+	}
 	rec := make([]byte, walHeader+payload)
 	p := rec[walHeader:]
 	binary.LittleEndian.PutUint64(p[0:8], b.PrevVersion)
@@ -55,6 +70,10 @@ func encodeBatch(b Batch) []byte {
 		binary.LittleEndian.PutUint64(p[off:], uint64(e[0]))
 		binary.LittleEndian.PutUint64(p[off+8:], uint64(e[1]))
 		off += 16
+	}
+	if b.Key != "" {
+		binary.LittleEndian.PutUint32(p[off:], uint32(len(b.Key)))
+		copy(p[off+4:], b.Key)
 	}
 	binary.LittleEndian.PutUint32(rec[0:4], walRecordMagic)
 	binary.LittleEndian.PutUint32(rec[4:8], uint32(payload))
@@ -73,7 +92,18 @@ func decodeBatchPayload(p []byte) (Batch, error) {
 	}
 	nIns := int(binary.LittleEndian.Uint32(p[16:20]))
 	nDel := int(binary.LittleEndian.Uint32(p[20:24]))
-	if 24+16*(nIns+nDel) != len(p) {
+	editsEnd := 24 + 16*(nIns+nDel)
+	switch {
+	case editsEnd == len(p):
+		// Legacy / keyless record.
+	case editsEnd+4 <= len(p):
+		keyLen := int(binary.LittleEndian.Uint32(p[editsEnd : editsEnd+4]))
+		if editsEnd+4+keyLen != len(p) {
+			return Batch{}, fmt.Errorf("payload length %d does not match %d+%d edits and key length %d",
+				len(p), nIns, nDel, keyLen)
+		}
+		b.Key = string(p[editsEnd+4:])
+	default:
 		return Batch{}, fmt.Errorf("payload length %d does not match %d+%d edits", len(p), nIns, nDel)
 	}
 	off := 24
@@ -136,10 +166,19 @@ func readWAL(path string) (batches []Batch, goodSize int64, err error) {
 }
 
 // wal is the append handle for one log file, opened after recovery has
-// already truncated any torn tail.
+// already truncated any torn tail. good tracks the byte length of the
+// clean record prefix: a failed append (partial write, failed fsync)
+// rewinds the file to good so the failure can never leave garbage
+// between records — without the rewind, every later append would land
+// behind the tear and be silently dropped by the next recovery scan even
+// though it was acknowledged. If the rewind itself fails the log is
+// marked broken and refuses further appends: serving continues in
+// memory, but no record that might be unrecoverable is ever acknowledged.
 type wal struct {
-	f    *os.File
-	path string
+	f      *os.File
+	path   string
+	good   int64
+	broken bool
 }
 
 // openWAL opens (creating if needed) the log for appending, first
@@ -169,18 +208,73 @@ func openWAL(path string, goodSize int64) (*wal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &wal{f: f, path: path}, nil
+	return &wal{f: f, path: path, good: goodSize}, nil
 }
 
 // append durably adds one record: write, then fsync, before returning.
+//
+// Failpoints (chaos builds only) model the three ways a real append dies:
+// store/wal-append fails before any byte lands (a clean rejection — the
+// batch is provably not on disk), store/wal-torn writes a partial record
+// and then "crashes" (recovery must detect and truncate the tear), and
+// store/wal-sync writes the full record but fails the fsync (the
+// ambiguous case: the unacknowledged batch may still be recovered).
 func (w *wal) append(b Batch) error {
-	if _, err := w.f.Write(encodeBatch(b)); err != nil {
+	if w.broken {
+		return fmt.Errorf("store: wal %s: broken by an earlier failed append", w.path)
+	}
+	if err := failpoint.Eval("store/wal-append"); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	rec := encodeBatch(b)
+	if err := failpoint.Eval("store/wal-torn"); err != nil {
+		// Simulated crash mid-write: leave a partial record on disk and
+		// mark the log broken — the "process" owning it is about to die,
+		// and recovery must find and truncate the tear.
+		cut := walHeader + (len(rec)-walHeader)/2
+		w.f.Write(rec[:cut])
+		w.f.Sync()
+		w.broken = true
+		return err
+	}
+	if _, err := w.f.Write(rec); err != nil {
+		w.rewind()
+		return err
+	}
+	if err := failpoint.Eval("store/wal-sync"); err != nil {
+		w.rewind()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.rewind()
+		return err
+	}
+	w.good += int64(len(rec))
+	return nil
+}
+
+// rewind truncates the log back to the clean prefix after a failed
+// append, turning "maybe on disk" into "definitely not on disk" so an
+// unacknowledged batch can never be recovered. A rewind that itself
+// fails breaks the log: appending past potential garbage would strand
+// every later record behind the tear.
+func (w *wal) rewind() {
+	if w.f.Truncate(w.good) != nil {
+		w.broken = true
+		return
+	}
+	if _, err := w.f.Seek(w.good, io.SeekStart); err != nil {
+		w.broken = true
+		return
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = true
+	}
 }
 
 // reset empties the log after a checkpoint made its records redundant.
+// A successful reset also clears the broken state: the garbage a failed
+// append may have left is gone with everything else.
 func (w *wal) reset() error {
 	if err := w.f.Truncate(0); err != nil {
 		return err
@@ -188,7 +282,12 @@ func (w *wal) reset() error {
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.good = 0
+	w.broken = false
+	return nil
 }
 
 func (w *wal) close() error { return w.f.Close() }
