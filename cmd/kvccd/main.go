@@ -11,6 +11,7 @@
 //	      [-index-measures kvcc] [-engine auto] [-seed 0]
 //	      [-request-timeout 30s] [-compute-timeout 5m] [-max-timeout 0]
 //	      [-max-inflight 0] [-quota rps[:burst]] [-drain-timeout 10s]
+//	      [-data-dir DIR] [-checkpoint-every 0] [-paging auto]
 //	      [-demo] [-selftest]
 //
 // -graph name=path registers an edge list under a query name and may be
@@ -52,6 +53,7 @@ import (
 	"kvcc/gen"
 	"kvcc/graph"
 	"kvcc/server"
+	"kvcc/store"
 )
 
 // graphFlags collects repeated -graph name=path mappings.
@@ -106,6 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quota           = fs.String("quota", "", "per-tenant admission quota as rps[:burst], keyed by X-API-Key (empty = no quotas)")
 		drainTimeout    = fs.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM/SIGINT shutdown waits for in-flight requests")
 		maxTimeout      = fs.Duration("max-timeout", 0, "ceiling for client-supplied timeout_ms; larger values are clamped (0 = request-timeout)")
+		paging          = fs.String("paging", "auto", "madvise policy for mmap'd snapshots with -data-dir: auto | off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -138,6 +141,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	pagingPolicy, err := store.ParsePagingPolicy(*paging)
+	if err != nil {
+		fmt.Fprintln(stderr, "kvccd: -paging:", err)
+		return 2
+	}
+
 	cfg := server.Config{
 		CacheSize:       *cacheSize,
 		MaxK:            *maxK,
@@ -155,6 +164,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		QuotaRPS:        quotaRPS,
 		QuotaBurst:      quotaBurst,
 		MaxTimeout:      *maxTimeout,
+		PagingPolicy:    pagingPolicy,
 	}
 	// With -data-dir, Open recovers every previously served graph from its
 	// snapshot + WAL before any file ingestion: a restart serves the exact
@@ -666,6 +676,10 @@ func runPersistSelfTest(base server.Config, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "persist selftest: recovered %q at version %d; k=5 results byte-identical (%d components)\n",
 		"demo", wantVersion, len(after.Components))
+	if ps := b.Stats().Paging; ps != nil {
+		fmt.Fprintf(stdout, "persist selftest: paging policy=%s mapped=%dB resident=%d/%d pages, snapshot open %.3fms\n",
+			ps.Policy, ps.MappedBytes, ps.ResidentPages, ps.TotalPages, ps.SnapshotOpenMS)
+	}
 	fmt.Fprintln(stdout, "persist selftest: ok")
 	return 0
 }

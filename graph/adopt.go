@@ -14,6 +14,11 @@ import "fmt"
 // does, behind a checksum, in its Verify path). The caller keeps
 // ownership of whatever backs the slices and must keep it alive (and
 // mapped) for the lifetime of the returned Graph.
+//
+// The returned graph reports External() true: enumeration code treats it
+// as demand-paged — sequential scans read it in place, anything with a
+// random access pattern copies out first (Materialize), and the owner may
+// attach a paging Advisor (SetAdvisor) to receive access hints.
 func AdoptCSR(offsets, edges []int, labels []int64, m int) (*Graph, error) {
 	n := len(labels)
 	switch {
@@ -26,7 +31,7 @@ func AdoptCSR(offsets, edges []int, labels []int64, m int) (*Graph, error) {
 	case len(edges) != 2*m:
 		return nil, fmt.Errorf("graph: adopt: %d edge entries for m = %d (want 2m)", len(edges), m)
 	}
-	return &Graph{offsets: offsets, edges: edges, labels: labels, m: m}, nil
+	return &Graph{offsets: offsets, edges: edges, labels: labels, m: m, external: true}, nil
 }
 
 // ValidateCSR exhaustively checks the CSR invariants of g in O(n + m):

@@ -1,0 +1,35 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeltaCompactAllocsBounded guards the single-pass Compact: it
+// allocates the offsets array, the edges array, and the Graph value — a
+// small constant number of allocations, independent of graph size.
+// Regressing to append-doubling of the edge array fails the larger size
+// immediately.
+func TestDeltaCompactAllocsBounded(t *testing.T) {
+	count := func(n int) float64 {
+		base := GNPForTest(n, 4/float64(n), rand.New(rand.NewSource(7)))
+		const runs = 10
+		// One fresh delta per call: Compact memoizes, so a re-run on the
+		// same delta would measure the cache, not the compaction.
+		deltas := make([]*Delta, runs+1)
+		for i := range deltas {
+			d := NewDelta(base)
+			d.InsertEdge(900_001, 900_002)
+			d.InsertEdge(900_002, 900_003)
+			deltas[i] = d
+		}
+		i := 0
+		return testing.AllocsPerRun(runs, func() { deltas[i].Compact(); i++ })
+	}
+	small, big := count(500), count(5000)
+	const bound = 12
+	if small > bound || big > bound {
+		t.Fatalf("Compact allocations grew with graph size: n=500 -> %.0f, n=5000 -> %.0f (bound %d)",
+			small, big, bound)
+	}
+}

@@ -42,6 +42,19 @@ func (b *CSRBuilder) intern(l int64) int {
 	return v
 }
 
+// InternVertex assigns the next vertex id to label l (a no-op for labels
+// already seen) during the counting pass. Generators use it to fix the
+// id order up front — e.g. community blocks contiguous in id space, so
+// CSR neighbor runs stay local — instead of inheriting the first-mention
+// order of a randomized edge stream. Isolated vertices can be added the
+// same way.
+func (b *CSRBuilder) InternVertex(l int64) int {
+	if b.placing {
+		panic("graph: InternVertex after BeginPlacement")
+	}
+	return b.intern(l)
+}
+
 // CountEdge records one undirected edge during the counting pass.
 // Self-loops are dropped, matching Builder.AddEdge.
 func (b *CSRBuilder) CountEdge(lu, lv int64) {

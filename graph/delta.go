@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Delta is a mutation overlay on an immutable base Graph: pending edge
 // insertions and deletions plus appended vertices, with a monotonically
@@ -273,67 +276,121 @@ func (d *Delta) HasEdge(u, v int) bool {
 // Graph.Neighbors it allocates a fresh slice per call (the merged view has
 // no contiguous backing); enumeration-grade reads should Compact first.
 func (d *Delta) Neighbors(v int) []int {
+	return d.MergedNeighbors(v, nil)
+}
+
+// MergedNeighbors appends the sorted adjacency of v over base+overlay to
+// buf (reusing its storage; buf may be nil) and returns the result. It is
+// the streaming read behind Neighbors, Compact and the snapshot spill
+// path: one ascending-v sweep of MergedNeighbors reads the base CSR
+// strictly sequentially, which is what keeps compaction of an mmap'd base
+// paging-friendly. The merged run's length always equals Degree(v).
+func (d *Delta) MergedNeighbors(v int, buf []int) []int {
+	buf = buf[:0]
 	var baseRun []int
 	if v < d.baseN() {
 		baseRun = d.base.Neighbors(v)
 	}
 	ins := d.insAdj[v]
-	out := make([]int, 0, len(baseRun)+len(ins))
+	if len(ins) == 0 && len(d.del) == 0 {
+		// Untouched vertex in a deletion-free overlay: one bulk copy.
+		return append(buf, baseRun...)
+	}
 	i, j := 0, 0
 	for i < len(baseRun) || j < len(ins) {
 		switch {
 		case j == len(ins) || (i < len(baseRun) && baseRun[i] < ins[j]):
 			w := baseRun[i]
 			i++
-			if !d.del[edgeKey(v, w)] {
-				out = append(out, w)
+			if len(d.del) == 0 || !d.del[edgeKey(v, w)] {
+				buf = append(buf, w)
 			}
 		default:
-			out = append(out, ins[j])
+			buf = append(buf, ins[j])
 			j++
 		}
 	}
-	return out
+	return buf
 }
 
-// Compact materializes the overlay into a fresh normalized CSR Graph —
-// via the same counting-sort skeleton the static builders use — rebases
-// the overlay onto it (pending edits drain into the new base), and
-// returns it. The version stamp is preserved, and the result is cached:
-// compacting twice without an intervening mutation returns the same
-// *Graph, so downstream consumers can use pointer identity as a cheap
-// "nothing changed" test.
+// Compact materializes the overlay into a fresh normalized CSR Graph,
+// rebases the overlay onto it (pending edits drain into the new base),
+// and returns it. The version stamp is preserved, and the result is
+// cached: compacting twice without an intervening mutation returns the
+// same *Graph, so downstream consumers can use pointer identity as a
+// cheap "nothing changed" test.
+//
+// Unlike the static builders' counting-sort skeleton, Compact never
+// re-sorts or deduplicates: the overlay's invariants (base runs sorted,
+// inserted neighbors kept sorted, inserts guaranteed absent from base)
+// let the merged degree come from Degree(v) in O(1) and each adjacency
+// run merge-write directly into its final slot. The pass allocates
+// exactly the result arrays — offsets and edges — so peak memory is the
+// old graph plus the new one, with no intermediate copies, and the base
+// CSR is read once, sequentially (it may be a cold mmap). The label
+// table and the overlay's bookkeeping maps are reused across compactions
+// whenever capacities suffice.
 func (d *Delta) Compact() *Graph {
 	if d.compacted != nil {
 		return d.compacted
 	}
 	n := len(d.labels)
-	base := d.base
-	offsets, flat, m := buildCSR(n, func(pair func(u, v int)) {
-		for u := 0; u < len(base.labels); u++ {
-			for _, w := range base.Neighbors(u) {
-				if u < w && !d.del[[2]int{u, w}] {
-					pair(u, w)
-				}
-			}
+	offsets := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + d.Degree(v)
+	}
+	edges := make([]int, offsets[n])
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		run := d.MergedNeighbors(v, edges[lo:lo:hi])
+		if len(run) != hi-lo {
+			panic("graph: Delta degree bookkeeping diverged from merged adjacency")
 		}
-		for _, e := range d.insList {
-			pair(e[0], e[1])
-		}
-	})
+	}
 	g := &Graph{
 		offsets: offsets,
-		edges:   flat,
-		labels:  append([]int64(nil), d.labels...),
-		m:       m,
+		edges:   edges,
+		// The label table is aliased, not copied: a Graph never reads
+		// past len, and Delta only ever appends to d.labels (the full
+		// slice expression forces any append past n to reallocate).
+		labels: d.labels[:n:n],
+		m:      d.m,
 	}
-	d.base = g
-	d.insPos = make(map[[2]int]int)
-	d.insList = nil
-	d.del = make(map[[2]int]bool)
-	d.insAdj = make(map[int][]int)
-	d.degDelta = make(map[int]int)
-	d.m = m
-	d.compacted = g
+	d.rebase(g)
 	return g
+}
+
+// rebase installs g as the overlay's new base and drains the pending
+// edits into it, reusing the bookkeeping maps' storage.
+func (d *Delta) rebase(g *Graph) {
+	d.base = g
+	clear(d.insPos)
+	d.insList = d.insList[:0]
+	clear(d.del)
+	clear(d.insAdj)
+	clear(d.degDelta)
+	d.m = g.m
+	d.compacted = g
+}
+
+// Rebase replaces the overlay's base with g, which must be structurally
+// identical to what Compact() would return — same vertex count, labels
+// and edges. The snapshot store uses it after spilling a compaction
+// straight to disk (CompactToStore): the re-mapped adoption of the
+// written file takes the compacted heap graph's place, pending edits
+// drain exactly as Compact would have drained them, and the version
+// stamp is untouched. Only the O(1) invariants are checked; the caller
+// vouches for the deep equality (the store does, behind a checksum).
+func (d *Delta) Rebase(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("graph: rebase onto nil graph")
+	}
+	if g.NumVertices() != len(d.labels) {
+		return fmt.Errorf("graph: rebase: %d vertices, overlay has %d", g.NumVertices(), len(d.labels))
+	}
+	if g.NumEdges() != d.m {
+		return fmt.Errorf("graph: rebase: %d edges, overlay has %d", g.NumEdges(), d.m)
+	}
+	d.rebase(g)
+	return nil
 }

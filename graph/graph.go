@@ -16,6 +16,13 @@ type Graph struct {
 	edges   []int   // flat neighbor storage; every per-vertex run is sorted
 	labels  []int64 // labels[v] = stable external identity of vertex v
 	m       int     // number of undirected edges
+
+	// external marks arrays adopted from an externally managed region
+	// (a read-only mmap); advisor, when set, receives paging hints for
+	// that region. See paging.go. Both are zero for heap-built graphs,
+	// including every subgraph extracted from an external one.
+	external bool
+	advisor  Advisor
 }
 
 // NumVertices returns the number of vertices.

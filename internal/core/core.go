@@ -171,6 +171,13 @@ type Stats struct {
 	LocalCutAttempts  int64 `json:"local_cut_attempts,omitempty"`
 	LocalCutFallbacks int64 `json:"local_cut_fallbacks,omitempty"`
 
+	// ColdPages counts major page faults taken while this enumeration
+	// ran — pages that had to come from disk, i.e. the beyond-RAM cost
+	// of the query. The serving layer measures it as a process-wide
+	// fault delta around the computation, so attribution is approximate
+	// under concurrency; 0 on platforms without fault counters.
+	ColdPages int64 `json:"cold_pages,omitempty"`
+
 	// Per-component accounting for the incremental maintenance path
 	// (internal/incr): of the k-core connected components of the input,
 	// how many were recomputed versus served verbatim from a previous
@@ -205,6 +212,7 @@ func (s *Stats) Add(s2 *Stats) {
 	s.SSVDetected += s2.SSVDetected
 	s.SSVInherited += s2.SSVInherited
 	s.CutFallbacks += s2.CutFallbacks
+	s.ColdPages += s2.ColdPages
 	s.LocalCutAttempts += s2.LocalCutAttempts
 	s.LocalCutFallbacks += s2.LocalCutFallbacks
 	s.ComponentsRecomputed += s2.ComponentsRecomputed
@@ -346,7 +354,14 @@ func (e *enumerator) runSerial(seed []task, stats *Stats) []*graph.Graph {
 	var results []*graph.Graph
 	var ws workspace
 	ws.flow.SetSeed(e.opts.Seed)
-	queue := append([]task(nil), seed...)
+	// The queue pops LIFO, so load the seeds reversed: batch members are
+	// then processed in their given (ascending component) order, which on
+	// a mapped snapshot keeps the first pass over each component moving
+	// forward through the edges array instead of starting from the back.
+	queue := make([]task, len(seed))
+	for i, t := range seed {
+		queue[len(seed)-1-i] = t
+	}
 	var liveBytes, resultBytes int64
 	for _, t := range seed {
 		liveBytes += t.g.Bytes()
@@ -466,10 +481,21 @@ func (e *enumerator) step(t task, stats *Stats, ws *workspace) (children []task,
 		return nil, nil
 	}
 	comps := cored.ConnectedComponents()
-	for _, comp := range comps {
+	for ci, comp := range comps {
+		// On a mapped graph, overlap I/O with compute: while this
+		// component is extracted and decomposed, the next one's byte range
+		// is already faulting in. (External() gates the min/max scan; the
+		// hint itself is a no-op without an advisor.)
+		if cored.External() && ci+1 < len(comps) {
+			adviseRange(cored, comps[ci+1])
+		}
 		var sub *graph.Graph
 		if len(comps) == 1 && cored.NumVertices() == len(comp) {
-			sub = cored
+			// Whole graph survived reduction in one piece. Materialize
+			// copies it off a mapped snapshot before the cut search's
+			// random-access flow probes; for heap graphs it is the
+			// identity, preserving the zero-copy fast path.
+			sub = cored.Materialize()
 		} else {
 			sub = cored.InducedSubgraphScratch(comp, scratch)
 		}
@@ -507,6 +533,26 @@ func (e *enumerator) step(t task, stats *Stats, ws *workspace) (children []task,
 		}
 	}
 	return children, vccs
+}
+
+// adviseRange forwards a WillNeed hint covering the vertex-id span of
+// comp (a connected-component vertex list in g's id space). The span may
+// overestimate — components interleave — but readahead over a superset
+// only prefetches bytes a later component needs anyway.
+func adviseRange(g *graph.Graph, comp []int) {
+	if len(comp) == 0 {
+		return
+	}
+	lo, hi := comp[0], comp[0]
+	for _, v := range comp {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	g.AdviseWillNeed(lo, hi)
 }
 
 // overlapPartition implements OVERLAP-PARTITION (Algorithm 1, lines 13-18):

@@ -8,6 +8,8 @@
 package kcore
 
 import (
+	"sort"
+
 	"kvcc/graph"
 )
 
@@ -82,36 +84,51 @@ func Reduce(g *graph.Graph, k int) (*graph.Graph, int) {
 
 // ReduceScratch is Reduce reusing the given subgraph-extraction scratch
 // (nil is allowed), for callers that peel in a hot loop.
+//
+// Peeling proceeds in waves, each wave processed in ascending vertex id:
+// the k-core is unique whatever the removal order (peeling is confluent),
+// so the result is identical to the classic stack-driven loop, but every
+// adjacency read walks the flat edges array forward. On a graph adopted
+// from a cold mmap'd snapshot this turns the first reduction — the one
+// pass that must touch the whole graph — into a sequential scan instead
+// of a page-cache-thrashing recursion, and the AdviseSequential hint
+// below lets the mapping's owner raise readahead for exactly that scan.
 func ReduceScratch(g *graph.Graph, k int, s *graph.Scratch) (*graph.Graph, int) {
 	if k <= 0 {
 		return g, 0
 	}
+	g.AdviseSequential() // no-op unless g is a mapped snapshot with an advisor
 	n := g.NumVertices()
 	deg := make([]int, n)
 	removed := make([]bool, n)
-	var stack []int
+	var wave, next []int
 	for v := 0; v < n; v++ {
-		deg[v] = g.Degree(v)
+		deg[v] = g.Degree(v) // offsets-only read: sequential, cheap
 		if deg[v] < k {
 			removed[v] = true
-			stack = append(stack, v)
+			wave = append(wave, v) // ascending by construction
 		}
 	}
-	peeled := len(stack)
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, w := range g.Neighbors(v) {
-			if removed[w] {
-				continue
-			}
-			deg[w]--
-			if deg[w] < k {
-				removed[w] = true
-				stack = append(stack, w)
-				peeled++
+	peeled := len(wave)
+	for len(wave) > 0 {
+		next = next[:0]
+		for _, v := range wave {
+			for _, w := range g.Neighbors(v) {
+				if removed[w] {
+					continue
+				}
+				deg[w]--
+				if deg[w] < k {
+					removed[w] = true
+					next = append(next, w)
+					peeled++
+				}
 			}
 		}
+		// Cascade waves are tiny compared to the first one; sorting keeps
+		// their reads forward-moving too.
+		sort.Ints(next)
+		wave, next = next, wave
 	}
 	if peeled == 0 {
 		return g, 0

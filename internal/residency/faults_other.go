@@ -1,0 +1,5 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd
+
+package residency
+
+func faultCounts() (major, minor int64, ok bool) { return 0, 0, false }

@@ -1,0 +1,13 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package residency
+
+import "syscall"
+
+func faultCounts() (major, minor int64, ok bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0, false
+	}
+	return int64(ru.Majflt), int64(ru.Minflt), true
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package residency
+
+import "errors"
+
+const residentSupported = false
+
+var errUnsupported = errors.New("residency: mincore not supported on this platform")
+
+func residentPages(b []byte) (resident, total int, err error) {
+	return 0, 0, errUnsupported
+}

@@ -1,0 +1,36 @@
+// Package residency probes how much of a byte region is actually backed
+// by resident physical pages, and how many page faults the process has
+// taken — the two observables that make beyond-RAM serving measurable.
+// The snapshot store uses Resident to report what fraction of a mapped
+// snapshot is in memory, and the server brackets each enumeration with
+// Faults deltas to attribute cold-page cost to individual queries.
+//
+// Everything here is best-effort instrumentation: on platforms without
+// mincore or getrusage the probes report themselves unsupported and
+// callers degrade to zeros. Results never feed back into behavior.
+package residency
+
+import "os"
+
+// PageSize returns the system page size, the unit Resident counts in.
+func PageSize() int { return os.Getpagesize() }
+
+// Supported reports whether Resident works on this platform (mincore is
+// Linux-only here; the fault counters are available on all Unixes).
+func Supported() bool { return residentSupported }
+
+// Resident reports how many of the pages spanned by b are resident in
+// physical memory, along with the total page count of the span. An empty
+// region is (0, 0). On unsupported platforms it returns an error and
+// (0, 0); callers treat that as "unknown", not "cold".
+func Resident(b []byte) (resident, total int, err error) {
+	return residentPages(b)
+}
+
+// Faults returns the process's cumulative major and minor page fault
+// counts, and whether the platform provides them. Callers measure deltas
+// across a region of interest; under concurrency the attribution is
+// approximate (faults from overlapping work are counted too).
+func Faults() (major, minor int64, ok bool) {
+	return faultCounts()
+}

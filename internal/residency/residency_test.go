@@ -1,0 +1,66 @@
+package residency
+
+import "testing"
+
+func TestPageSize(t *testing.T) {
+	if ps := PageSize(); ps <= 0 || ps&(ps-1) != 0 {
+		t.Fatalf("PageSize() = %d, want a positive power of two", ps)
+	}
+}
+
+// TestResidentTouchedRegion probes a heap region the test has just
+// written: every spanned page must report resident. On platforms without
+// mincore the probe must fail loudly (error), never report zeros as if
+// it had measured.
+func TestResidentTouchedRegion(t *testing.T) {
+	buf := make([]byte, 8*PageSize())
+	for i := 0; i < len(buf); i += 64 {
+		buf[i] = byte(i)
+	}
+	resident, total, err := Resident(buf)
+	if !Supported() {
+		if err == nil {
+			t.Fatal("unsupported platform returned a measurement")
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("Resident: %v", err)
+	}
+	// The slice may straddle one extra page boundary.
+	if total < 8 || total > 9 {
+		t.Fatalf("total = %d pages for %d bytes", total, len(buf))
+	}
+	if resident != total {
+		t.Fatalf("freshly written region: %d/%d pages resident", resident, total)
+	}
+}
+
+func TestResidentEmpty(t *testing.T) {
+	if r, total, err := Resident(nil); r != 0 || total != 0 || err != nil {
+		t.Fatalf("Resident(nil) = (%d, %d, %v), want (0, 0, nil)", r, total, err)
+	}
+}
+
+// TestFaults asserts the counters are monotone and that forcing fresh
+// page faults (touching a new large allocation) moves the minor count.
+func TestFaults(t *testing.T) {
+	maj1, min1, ok := Faults()
+	if !ok {
+		t.Skip("fault counters unsupported on this platform")
+	}
+	if maj1 < 0 || min1 <= 0 {
+		t.Fatalf("implausible initial counts: major=%d minor=%d", maj1, min1)
+	}
+	buf := make([]byte, 64*PageSize())
+	for i := 0; i < len(buf); i += PageSize() {
+		buf[i] = 1
+	}
+	maj2, min2, ok := Faults()
+	if !ok {
+		t.Fatal("fault counters disappeared mid-process")
+	}
+	if maj2 < maj1 || min2 < min1 {
+		t.Fatalf("counters moved backwards: major %d->%d minor %d->%d", maj1, maj2, min1, min2)
+	}
+}

@@ -319,7 +319,28 @@ type StatsResponse struct {
 	Indexes      []IndexInfo     `json:"indexes,omitempty"`
 	Persistence  *PersistStats   `json:"persistence,omitempty"`
 	Admission    *AdmissionStats `json:"admission,omitempty"`
-	UptimeMS     float64         `json:"uptime_ms"`
+	// Paging aggregates madvise/residency accounting across every
+	// graph's snapshot mapping (present only with persistence enabled);
+	// see store.PagingStats for the per-store fields being summed.
+	Paging   *PagingStats `json:"paging,omitempty"`
+	UptimeMS float64      `json:"uptime_ms"`
+}
+
+// PagingStats is the server-wide roll-up of store paging activity:
+// counters and mapping sizes sum across stores, residency sums across
+// live mappings, and SnapshotOpenMS is the maximum last-open cost among
+// them (the startup-latency figure of merit).
+type PagingStats struct {
+	Policy          string  `json:"policy"`
+	SequentialHints int64   `json:"sequential_hints"`
+	WillNeedHints   int64   `json:"willneed_hints"`
+	Releases        int64   `json:"releases"`
+	Evictions       int64   `json:"evictions"`
+	MappedBytes     int64   `json:"mapped_bytes"`
+	ResidentPages   int     `json:"resident_pages,omitempty"`
+	TotalPages      int     `json:"total_pages,omitempty"`
+	SnapshotOpenMS  float64 `json:"snapshot_open_ms"`
+	RetiredMappings int     `json:"retired_mappings,omitempty"`
 }
 
 // AdmissionStats describes the server's overload boundary: configured
@@ -383,6 +404,11 @@ type PersistStats struct {
 	TornTails       int    `json:"torn_tails,omitempty"`
 	WALAppends      int64  `json:"wal_appends"`
 	Checkpoints     int64  `json:"checkpoints"`
+	// SpillCompactions counts checkpoints taken through the zero-heap
+	// streaming path (store.CompactToStore): the overlay was folded
+	// straight into a new snapshot file and the graph re-mapped, instead
+	// of compacting on the heap first. A subset of Checkpoints.
+	SpillCompactions int64 `json:"spill_compactions,omitempty"`
 	IndexSaves      int64  `json:"index_saves,omitempty"`
 	IndexLoads      int64  `json:"index_loads,omitempty"`
 	Errors          int64  `json:"errors,omitempty"`

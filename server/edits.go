@@ -135,7 +135,17 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 	if oldCores == nil {
 		oldCores = kcore.CoreNumbers(entry.g)
 	}
-	g2 := delta.Compact()
+
+	// When this batch reaches the checkpoint threshold anyway, spill the
+	// overlay straight to a new on-disk snapshot and serve the re-mapped
+	// result: the compacted CSR never exists on the heap, and the
+	// snapshot (fsync'd and renamed before anything becomes visible) is
+	// itself the batch's durability point — no WAL record needed. Off
+	// that path, compact on the heap and WAL-log the batch as before.
+	g2, spilled := s.spillCompact(req.Graph, delta, req.IdempotencyKey)
+	if !spilled {
+		g2 = delta.Compact()
+	}
 	newCores := kcore.CoreNumbers(g2)
 	aff := affectedLevels(oldCores, newCores, edited)
 
@@ -146,13 +156,17 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 	// it must land on exactly delta.Version(). A persistence failure
 	// degrades, never blocks: the edit still installs, the response
 	// reports Persisted=false, and Stats records the error.
-	resp.Persisted = s.persistEdits(req.Graph, store.Batch{
-		PrevVersion: entry.version,
-		NewVersion:  delta.Version(),
-		Inserts:     req.Inserts,
-		Deletes:     req.Deletes,
-		Key:         req.IdempotencyKey,
-	}, g2)
+	if spilled {
+		resp.Persisted = true
+	} else {
+		resp.Persisted = s.persistEdits(req.Graph, store.Batch{
+			PrevVersion: entry.version,
+			NewVersion:  delta.Version(),
+			Inserts:     req.Inserts,
+			Deletes:     req.Deletes,
+			Key:         req.IdempotencyKey,
+		}, g2)
+	}
 
 	// Install the new snapshot under a fresh generation. Every registry
 	// mutation (Edits, AddGraph, RemoveGraph) serializes on editMu, so
@@ -196,8 +210,11 @@ func (s *Server) Edits(ctx context.Context, req EditsRequest) (*EditsResponse, e
 
 	// Checkpoint policy: after enough logged batches, fold the WAL into a
 	// fresh snapshot. g2 is already the compacted current snapshot, so
-	// the checkpoint costs only the sequential file write.
-	s.maybeCheckpoint(req.Graph, g2, newEntry.version)
+	// the checkpoint costs only the sequential file write. A spill
+	// already was the checkpoint.
+	if !spilled {
+		s.maybeCheckpoint(req.Graph, g2, newEntry.version)
+	}
 
 	s.statsMu.Lock()
 	s.enum.Edits++

@@ -56,7 +56,7 @@ func Open(cfg Config) (*Server, error) {
 			s.notePersistError("recover "+de.Name(), err)
 			continue
 		}
-		st, err := store.Open(filepath.Join(s.cfg.DataDir, de.Name()), store.Options{})
+		st, err := store.Open(filepath.Join(s.cfg.DataDir, de.Name()), s.storeOptions())
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("server: recover %q: %w", name, err)
@@ -134,6 +134,11 @@ func (s *Server) Close() error {
 
 func (s *Server) persistEnabled() bool { return s.cfg.DataDir != "" }
 
+// storeOptions is the store configuration every graph store opens with.
+func (s *Server) storeOptions() store.Options {
+	return store.Options{PagingPolicy: s.cfg.PagingPolicy}
+}
+
 // graphDir maps a graph name onto its store directory. Escaping makes any
 // name filesystem-safe and the mapping invertible for recovery.
 func (s *Server) graphDir(name string) string {
@@ -153,7 +158,7 @@ func (s *Server) storeFor(name string) *store.Store {
 	if st != nil {
 		return st
 	}
-	st, err := store.Open(s.graphDir(name), store.Options{})
+	st, err := store.Open(s.graphDir(name), s.storeOptions())
 	if err != nil {
 		s.notePersistError("open store for "+name, err)
 		return nil
@@ -214,6 +219,34 @@ func (s *Server) persistEdits(name string, b store.Batch, g *graph.Graph) bool {
 	s.persist.WALAppends++
 	s.storeMu.Unlock()
 	return true
+}
+
+// spillCompact implements the zero-heap checkpoint path of Edits: when
+// this batch will hit the checkpoint threshold anyway, the overlay is
+// folded straight into a new snapshot file (store.CompactToStore) and
+// the re-mapped graph comes back as the next serving snapshot — the
+// compacted CSR never exists on the heap, and the WAL record for the
+// batch is superseded by the snapshot itself. Returns (nil, false) when
+// the threshold is not reached or the spill failed; the caller then
+// compacts on the heap and logs the batch as usual.
+func (s *Server) spillCompact(name string, delta *graph.Delta, key string) (*graph.Graph, bool) {
+	if !s.persistEnabled() || s.cfg.CheckpointEvery < 0 {
+		return nil, false
+	}
+	st := s.storeFor(name)
+	if st == nil || st.Pending()+1 < s.cfg.CheckpointEvery {
+		return nil, false
+	}
+	g, err := st.CompactToStore(delta, key)
+	if err != nil {
+		s.notePersistError("spill compact for "+name, err)
+		return nil, false
+	}
+	s.storeMu.Lock()
+	s.persist.Checkpoints++
+	s.persist.SpillCompactions++
+	s.storeMu.Unlock()
+	return g, true
 }
 
 // maybeCheckpoint folds the WAL into a fresh snapshot once enough batches
@@ -328,4 +361,35 @@ func (s *Server) persistStats() *PersistStats {
 	ps.Graphs = len(s.stores)
 	s.storeMu.Unlock()
 	return &ps
+}
+
+// pagingStats rolls the per-store paging figures up into one server-wide
+// view (nil when persistence is disabled): counters and sizes sum,
+// SnapshotOpenMS takes the slowest last open.
+func (s *Server) pagingStats() *PagingStats {
+	if !s.persistEnabled() {
+		return nil
+	}
+	s.storeMu.Lock()
+	stores := make([]*store.Store, 0, len(s.stores))
+	for _, st := range s.stores {
+		stores = append(stores, st)
+	}
+	s.storeMu.Unlock()
+	agg := &PagingStats{Policy: s.cfg.PagingPolicy.String()}
+	for _, st := range stores {
+		ps := st.PagingStats()
+		agg.SequentialHints += ps.SequentialHints
+		agg.WillNeedHints += ps.WillNeedHints
+		agg.Releases += ps.Releases
+		agg.Evictions += ps.Evictions
+		agg.MappedBytes += ps.MappedBytes
+		agg.ResidentPages += ps.ResidentPages
+		agg.TotalPages += ps.TotalPages
+		agg.RetiredMappings += ps.RetiredMappings
+		if ps.SnapshotOpenMS > agg.SnapshotOpenMS {
+			agg.SnapshotOpenMS = ps.SnapshotOpenMS
+		}
+	}
+	return agg
 }

@@ -42,6 +42,7 @@ import (
 	"kvcc/graph"
 	"kvcc/graphio"
 	"kvcc/internal/failpoint"
+	"kvcc/internal/residency"
 	"kvcc/store"
 )
 
@@ -160,6 +161,12 @@ type Config struct {
 	// the request proceeds under the ceiling and the clamp is counted in
 	// AdmissionStats.TimeoutsClamped; negative timeout_ms is rejected.
 	MaxTimeout time.Duration
+	// PagingPolicy controls madvise on snapshot mappings when DataDir is
+	// set: store.PagingAuto (zero value) forwards enumeration access
+	// hints to the kernel and spills checkpoints straight to disk;
+	// store.PagingOff disables all advice (the A/B baseline). Parse flag
+	// values with store.ParsePagingPolicy.
+	PagingPolicy store.PagingPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -734,6 +741,12 @@ func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 	}
 
 	begin := time.Now()
+	// Bracket the computation with the process's major-fault counter: the
+	// delta is the pages this query pulled from disk — its beyond-RAM
+	// cost — reported as Stats.ColdPages. Attribution is approximate
+	// under concurrency (overlapping queries' faults are counted too) and
+	// zero where the platform has no counters.
+	majBefore, _, haveFaults := residency.Faults()
 	var res *kvcc.Result
 	var err error
 	if key.measure == kvcc.MeasureKVCC {
@@ -746,6 +759,11 @@ func (s *Server) enumerate(key cacheKey, g *graph.Graph) (*kvcc.Result, error) {
 			kvcc.WithFlowEngine(s.engine), kvcc.WithSeed(s.cfg.Seed))
 	}
 	elapsed := time.Since(begin)
+	if haveFaults && res != nil {
+		if majAfter, _, ok := residency.Faults(); ok {
+			res.Stats.ColdPages = majAfter - majBefore
+		}
+	}
 
 	s.statsMu.Lock()
 	// A canceled enumeration is the caller's choice (a disconnected
@@ -954,6 +972,7 @@ func (s *Server) Stats() *StatsResponse {
 		Indexes:      s.indexInfos(),
 		Persistence:  s.persistStats(),
 		Admission:    adm,
+		Paging:       s.pagingStats(),
 		UptimeMS:     float64(time.Since(s.start)) / float64(time.Millisecond),
 	}
 }

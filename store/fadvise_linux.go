@@ -1,0 +1,22 @@
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+const posixFadvDontNeed = 4 // POSIX_FADV_DONTNEED
+
+// dropFileCache asks the kernel to drop f's page cache. Combined with
+// MADV_DONTNEED on the mapping this makes the next access a genuine disk
+// fault — what the cold-cache benchmarks need — instead of a minor fault
+// that re-maps a still-cached page. fadvise has no syscall wrapper; the
+// generated SYS_FADVISE64 constant is right on every linux architecture.
+func dropFileCache(f *os.File) error {
+	_, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64,
+		f.Fd(), 0, 0, posixFadvDontNeed, 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

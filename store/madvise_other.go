@@ -1,0 +1,7 @@
+//go:build !linux
+
+package store
+
+func madviseSequential(b []byte) {}
+func madviseWillNeed(b []byte)   {}
+func madviseDontNeed(b []byte)   {}

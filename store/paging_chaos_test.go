@@ -1,0 +1,85 @@
+//go:build failpoint
+
+package store
+
+import (
+	"testing"
+
+	"kvcc/graph"
+	"kvcc/internal/difftest"
+	"kvcc/internal/failpoint"
+)
+
+// TestChaosCompactToStoreWriteFailure injects a failure into each of the
+// spill's two snapshot-side failpoints (payload write, pre-rename sync).
+// Both sit before the rename, so a refused spill must leave the store
+// fully intact — old snapshot served, WAL untouched — and a retry after
+// the fault clears must land the identical state a never-failed spill
+// would have produced, surviving a crash.
+func TestChaosCompactToStoreWriteFailure(t *testing.T) {
+	for _, fp := range []string{"store/snapshot-write", "store/snapshot-sync"} {
+		t.Run(fp, func(t *testing.T) {
+			base := difftest.Corpus()[0].G
+			dir := t.TempDir()
+			st, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Checkpoint(base, 1); err != nil {
+				t.Fatal(err)
+			}
+			delta := graph.NewDeltaAt(base, 1)
+			v0 := delta.Version()
+			ins := [][2]int64{{5001, 5002}, {5002, 5003}}
+			for _, e := range ins {
+				delta.InsertEdge(e[0], e[1])
+			}
+			if err := st.Append(Batch{PrevVersion: v0, NewVersion: delta.Version(), Inserts: ins}); err != nil {
+				t.Fatal(err)
+			}
+			ref := graph.NewDeltaAt(base, 1)
+			for _, e := range ins {
+				ref.InsertEdge(e[0], e[1])
+			}
+			want := ref.Compact()
+			wantVersion := ref.Version()
+
+			armFailpoints(t, fp+"=error")
+			if _, err := st.CompactToStore(delta, "chaos-key"); !failpoint.IsInjected(err) {
+				t.Fatalf("CompactToStore under %s: err = %v, want injected", fp, err)
+			}
+			// The refused spill changed nothing the store acknowledges.
+			if st.Pending() != 1 {
+				t.Fatalf("pending = %d after refused spill, want 1", st.Pending())
+			}
+			if _, ok := st.IdempotencyKeys()["chaos-key"]; ok {
+				t.Fatal("idempotency key recorded by a spill that never landed")
+			}
+			failpoint.Reset()
+
+			// Retry with the fault cleared: the delta was not consumed.
+			g, err := st.CompactToStore(delta, "chaos-key")
+			if err != nil {
+				t.Fatalf("retry CompactToStore: %v", err)
+			}
+			sameGraph(t, g, want)
+			if st.Pending() != 0 {
+				t.Fatalf("pending = %d after successful spill", st.Pending())
+			}
+			// Crash (no Close) and recover.
+			st2, err := Open(dir, Options{VerifyOnOpen: true})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer st2.Close()
+			g2, v2, _ := st2.Graph()
+			if v2 != wantVersion {
+				t.Fatalf("recovered version %d, want %d", v2, wantVersion)
+			}
+			if replayed, _ := st2.Replayed(); replayed != 0 {
+				t.Fatalf("replayed %d batches after spill", replayed)
+			}
+			sameGraph(t, g2, want)
+		})
+	}
+}

@@ -46,6 +46,10 @@ type Snapshot struct {
 	data       []byte // whole file, mmap'd (or heap on non-mmap platforms)
 	unmap      func() error
 	closed     bool
+
+	// counters, when set by EnablePaging, receives release/eviction
+	// accounting; see paging.go.
+	counters *PagingCounters
 }
 
 // snapshotSize returns the exact file size a well-formed snapshot with
@@ -59,6 +63,27 @@ func snapshotSize(n, m int64) int64 {
 // first and are fsync'd before a rename makes them visible, so a crash
 // mid-write can never leave a half-written file under the real name.
 func WriteSnapshot(path string, g *graph.Graph, version uint64) error {
+	offsets, edges := g.Adjacency()
+	labels := g.Labels()
+	return writeSnapshotAtomic(path, int64(g.NumVertices()), int64(g.NumEdges()), version,
+		func(w io.Writer, buf []byte) error {
+			if err := writeInts(w, offsets, buf); err != nil {
+				return err
+			}
+			if err := writeInts(w, edges, buf); err != nil {
+				return err
+			}
+			return writeInt64s(w, labels, buf)
+		})
+}
+
+// writeSnapshotAtomic is the shared write skeleton behind WriteSnapshot
+// and WriteSnapshotStream: temp file, zeroed header placeholder, payload
+// streamed through the CRC by writePayload (which receives a 64 KiB
+// scratch buffer), real header written in place, fsync, rename, dirsync.
+// Both failpoints fire here, so the streaming writer inherits exactly
+// the crash windows the snapshot tests probe.
+func writeSnapshotAtomic(path string, n, m int64, version uint64, writePayload func(w io.Writer, buf []byte) error) error {
 	if err := failpoint.Eval("store/snapshot-write"); err != nil {
 		return err
 	}
@@ -67,10 +92,6 @@ func WriteSnapshot(path string, g *graph.Graph, version uint64) error {
 	if err != nil {
 		return err
 	}
-
-	offsets, edges := g.Adjacency()
-	labels := g.Labels()
-	n, m := int64(g.NumVertices()), int64(g.NumEdges())
 
 	// Single pass: a zeroed header placeholder, then the payload streamed
 	// through the CRC, then the real header written in place.
@@ -82,13 +103,7 @@ func WriteSnapshot(path string, g *graph.Graph, version uint64) error {
 		os.Remove(tmp)
 		return err
 	}
-	buf := make([]byte, 64*1024)
-	if err := writeInts(w, offsets, buf); err == nil {
-		err = writeInts(w, edges, buf)
-		if err == nil {
-			err = writeInt64s(w, labels, buf)
-		}
-	} else {
+	if err := writePayload(w, make([]byte, 64*1024)); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

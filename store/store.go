@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"kvcc/cohesion"
 	"kvcc/graph"
@@ -19,6 +20,10 @@ type Options struct {
 	// operators set it; the default trusts the header checksum plus the
 	// atomic-rename write protocol.
 	VerifyOnOpen bool
+	// PagingPolicy controls madvise on snapshot mappings: PagingAuto
+	// (zero value) forwards enumeration access hints and releases
+	// retired mappings; PagingOff never advises. See paging.go.
+	PagingPolicy PagingPolicy
 }
 
 // Store is the durability handle for one graph: its snapshot, WAL and
@@ -41,6 +46,16 @@ type Store struct {
 	pending       int  // batches in the WAL since the last checkpoint
 	truncatedTail bool // Open dropped a torn/corrupt WAL tail
 	destroyed     bool
+
+	// retired holds mappings replaced by CompactToStore. They stay open
+	// — readers recovered before the swap may still hold their graphs —
+	// with resident pages released; Close unmaps them all.
+	retired []*Snapshot
+	// paging accumulates madvise activity; openMS is the cost of the
+	// last OpenSnapshot (header read + CRC + map), the measured price of
+	// the O(1) startup claim.
+	paging PagingCounters
+	openMS float64
 
 	// idemKeys maps each known applied idempotency key to the overlay
 	// version its batch produced (see idem.go).
@@ -73,15 +88,20 @@ func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{dir: dir, opts: opts}
 	snapPath := filepath.Join(dir, snapshotName)
 	if _, err := os.Stat(snapPath); err == nil {
+		start := time.Now()
 		snap, err := OpenSnapshot(snapPath)
 		if err != nil {
 			return nil, err
 		}
+		s.openMS = float64(time.Since(start)) / float64(time.Millisecond)
 		if opts.VerifyOnOpen {
 			if err := snap.Verify(); err != nil {
 				snap.Close()
 				return nil, err
 			}
+		}
+		if opts.PagingPolicy != PagingOff {
+			snap.EnablePaging(&s.paging)
 		}
 		s.snap = snap
 		s.g = snap.Graph()
@@ -240,11 +260,119 @@ func (s *Store) Checkpoint(g *graph.Graph, version uint64) error {
 	if err := s.wal.reset(); err != nil {
 		return err
 	}
+	// The heap graph g replaces whatever the old mapping was backing;
+	// release the mapping's resident pages (it stays valid for readers
+	// that still hold the previous recovered graph — reads re-fault).
+	if s.snap != nil && s.opts.PagingPolicy != PagingOff {
+		s.snap.ReleasePages()
+	}
 	s.g = g
 	s.version = version
 	s.hasGraph = true
 	s.pending = 0
 	return nil
+}
+
+// CompactToStore folds the overlay d straight into a new on-disk
+// snapshot and rebases d onto the re-mapped result — a checkpoint that
+// never builds the compacted CSR on the heap. Where Compact+Checkpoint
+// peaks at roughly two graphs of memory (the old base plus the fresh
+// heap CSR), this path streams the merge to disk (O(max degree) writer
+// state), maps the file back, and serves the graph from the page cache;
+// peak heap cost is the overlay itself, O(delta).
+//
+// Crash-ordering is identical to Checkpoint: the snapshot lands
+// atomically first, then the idempotency keys, then the WAL truncate —
+// every intermediate crash state recovers. On any error d is left
+// unmodified and the caller can fall back to Compact+Checkpoint.
+//
+// The previous mapping (if any) is retired, not closed: graphs
+// recovered from it may still be serving. Its resident pages are
+// released; Close unmaps every retired mapping.
+//
+// key, when non-empty, is the idempotency key of the edit batch this
+// spill makes durable: the WAL record that would have carried it is
+// never written, so the key is retained directly.
+func (s *Store) CompactToStore(d *graph.Delta, key string) (*graph.Graph, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.destroyed {
+		return nil, fmt.Errorf("store: %s: destroyed", s.dir)
+	}
+	path := filepath.Join(s.dir, snapshotName)
+	version := d.Version()
+	if err := WriteSnapshotStream(path, DeltaStream(d)); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	s.openMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if s.opts.PagingPolicy != PagingOff {
+		snap.EnablePaging(&s.paging)
+	}
+	g := snap.Graph()
+	if err := d.Rebase(g); err != nil {
+		// Impossible unless the stream callbacks disagreed with the
+		// overlay's own counts; surface it rather than serve a mismatch.
+		snap.Close()
+		return nil, err
+	}
+	s.rememberKey(key, version)
+	s.saveIdemLocked()
+	if err := s.wal.reset(); err != nil {
+		return nil, err
+	}
+	if s.snap != nil {
+		if s.opts.PagingPolicy != PagingOff {
+			s.snap.ReleasePages()
+		}
+		s.retired = append(s.retired, s.snap)
+	}
+	s.snap = snap
+	s.g = g
+	s.version = version
+	s.hasGraph = true
+	s.pending = 0
+	return g, nil
+}
+
+// Snapshot returns the live snapshot backing the recovered graph, or nil
+// for a store that has never been checkpointed (or whose last checkpoint
+// installed a heap graph). Tests and benchmarks use it to evict or probe
+// the mapping.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// PagingStats reports the store's paging activity, live-mapping size and
+// residency, and the cost of the last snapshot open.
+func (s *Store) PagingStats() PagingStats {
+	s.mu.Lock()
+	snap := s.snap
+	retired := len(s.retired)
+	openMS := s.openMS
+	s.mu.Unlock()
+	ps := PagingStats{
+		Policy:          s.opts.PagingPolicy.String(),
+		SequentialHints: s.paging.SequentialHints.Load(),
+		WillNeedHints:   s.paging.WillNeedHints.Load(),
+		Releases:        s.paging.Releases.Load(),
+		Evictions:       s.paging.Evictions.Load(),
+		SnapshotOpenMS:  openMS,
+		RetiredMappings: retired,
+	}
+	if snap != nil {
+		ps.MappedBytes = snap.MappedBytes()
+		if r, t, ok := snap.Residency(); ok {
+			ps.ResidentPages, ps.TotalPages = r, t
+		}
+	}
+	return ps
 }
 
 // SaveIndex persists a finished hierarchy index stamped with the overlay
@@ -329,6 +457,12 @@ func (s *Store) closeLocked(ignoreErr bool) error {
 		}
 		s.snap = nil
 	}
+	for _, old := range s.retired {
+		if err := old.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.retired = nil
 	if ignoreErr {
 		return nil
 	}

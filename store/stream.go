@@ -1,0 +1,96 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"kvcc/graph"
+)
+
+// Streaming snapshot spill: write a merged CSR straight to disk without
+// ever materializing it on the heap. The classic checkpoint path is
+// Delta.Compact (build the full heap CSR: O(n+m) fresh allocations) then
+// WriteSnapshot; for a graph near or beyond RAM that doubles peak memory
+// exactly when memory is the scarce resource. WriteSnapshotStream
+// instead pulls the snapshot one vertex at a time from callbacks —
+// offsets fold into a running prefix sum, adjacency runs are merged into
+// one reused max-degree buffer — so the writer's heap footprint is O(max
+// degree) + one 64 KiB scratch buffer regardless of graph size.
+
+// SnapshotStream describes a CSR to be written vertex by vertex. The
+// callbacks must be pure: each is called once per vertex in ascending
+// order, and the writer cross-checks that the degrees sum to 2M and that
+// every run has exactly Degree(v) entries.
+type SnapshotStream struct {
+	N       int    // vertex count
+	M       int    // undirected edge count
+	Version uint64 // overlay version stamp for the header
+
+	// Label returns the label of vertex v.
+	Label func(v int) int64
+	// Degree returns the degree of vertex v; must be O(1)-cheap, it is
+	// called twice per vertex (offsets pass + run check).
+	Degree func(v int) int
+	// Run appends the sorted merged adjacency of v to buf[:0] and
+	// returns it. The same buffer is handed back on every call.
+	Run func(v int, buf []int) []int
+}
+
+// WriteSnapshotStream writes src as a snapshot file at path with the
+// same format, atomicity and failpoints as WriteSnapshot. A degree/run
+// mismatch aborts before the rename, so a bad stream can never replace a
+// good snapshot.
+func WriteSnapshotStream(path string, src *SnapshotStream) error {
+	n, m := int64(src.N), int64(src.M)
+	return writeSnapshotAtomic(path, n, m, src.Version, func(w io.Writer, buf []byte) error {
+		// Offsets: running prefix sum, no array.
+		var b8 [8]byte
+		off := int64(0)
+		for v := 0; v <= src.N; v++ {
+			binary.LittleEndian.PutUint64(b8[:], uint64(off))
+			if _, err := w.Write(b8[:]); err != nil {
+				return err
+			}
+			if v < src.N {
+				off += int64(src.Degree(v))
+			}
+		}
+		if off != 2*m {
+			return fmt.Errorf("store: stream: degrees sum to %d, want 2m = %d", off, 2*m)
+		}
+		// Edges: one merged run at a time through a reused buffer.
+		var run []int
+		for v := 0; v < src.N; v++ {
+			run = src.Run(v, run[:0])
+			if len(run) != src.Degree(v) {
+				return fmt.Errorf("store: stream: vertex %d run has %d entries, degree says %d", v, len(run), src.Degree(v))
+			}
+			if err := writeInts(w, run, buf); err != nil {
+				return err
+			}
+		}
+		// Labels.
+		for v := 0; v < src.N; v++ {
+			binary.LittleEndian.PutUint64(b8[:], uint64(src.Label(v)))
+			if _, err := w.Write(b8[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// DeltaStream adapts a mutation overlay to the streaming writer: the
+// merged (base + overlay) adjacency is generated per vertex, so the
+// compacted CSR never exists on the heap.
+func DeltaStream(d *graph.Delta) *SnapshotStream {
+	return &SnapshotStream{
+		N:       d.NumVertices(),
+		M:       d.NumEdges(),
+		Version: d.Version(),
+		Label:   d.Label,
+		Degree:  d.Degree,
+		Run:     d.MergedNeighbors,
+	}
+}
